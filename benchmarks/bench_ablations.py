@@ -1,0 +1,115 @@
+"""Ablations of the reproduction's own modelling choices (DESIGN.md §3).
+
+Not paper figures — these benches quantify how much each design decision
+of the *simulator* matters, so a reader can judge the model rather than
+trust it:
+
+1. exact per-op execution vs the aggregate lump-flow fast path;
+2. the client read-ahead depth behind sequential-read throughput;
+3. the batch count used by aggregate mode;
+4. object-count sensitivity of the Ceph balls-into-bins imbalance.
+
+Run:  pytest benchmarks/bench_ablations.py --benchmark-only -s
+"""
+
+from repro.hardware import Cluster
+from repro.units import GiB, MiB
+from repro.workloads.common import CephEnv, DaosEnv, WorkloadConfig
+from repro.workloads.ior import run_ior
+
+
+def _bw(env, cfg, api, **kw):
+    rec = run_ior(env, cfg, api, **kw)
+    return rec.bandwidth("write") / GiB, rec.bandwidth("read") / GiB
+
+
+def test_ablation_exact_vs_aggregate(benchmark):
+    """The aggregate fast path must track the exact per-op reference at
+    saturation (it is how all figure sweeps run)."""
+
+    def run():
+        out = {}
+        for mode in ("exact", "aggregate"):
+            env = DaosEnv(Cluster(n_servers=1, n_clients=2, seed=1))
+            cfg = WorkloadConfig(
+                n_client_nodes=2, ppn=8, ops_per_process=12, mode=mode, batches=2
+            )
+            out[mode] = _bw(env, cfg, "DAOS")
+        return out
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\nexact vs aggregate (1 server, 16 procs, GiB/s):")
+    for mode, (w, r) in out.items():
+        print(f"  {mode:10s} write {w:6.2f}  read {r:6.2f}")
+    we, re_ = out["exact"]
+    wa, ra = out["aggregate"]
+    assert abs(wa - we) / we < 0.25
+    assert abs(ra - re_) / re_ < 0.25
+
+
+def test_ablation_readahead_depth(benchmark):
+    """Sequential-read throughput at low concurrency scales with the
+    modelled client read-ahead until server links bind."""
+    from repro.daos.params import DaosParams
+    from repro.daos.pool import Pool
+
+    def run():
+        out = {}
+        for depth in (1, 2, 4, 8):
+            cluster = Cluster(n_servers=4, n_clients=2, seed=0)
+            pool = Pool(cluster, params=DaosParams(readahead_depth=depth))
+            env = DaosEnv(cluster, pool=pool)
+            cfg = WorkloadConfig(n_client_nodes=2, ppn=2, ops_per_process=32)
+            out[depth] = _bw(env, cfg, "DAOS")[1]
+        return out
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\nread bandwidth vs read-ahead depth (4 procs, GiB/s):")
+    for depth, read_bw in out.items():
+        print(f"  depth {depth}: {read_bw:6.2f}")
+    assert out[4] > out[1]  # prefetch visibly helps few streams
+    assert out[8] <= out[4] * 1.6  # and saturates once links bind
+
+
+def test_ablation_batch_count(benchmark):
+    """Aggregate-mode results are insensitive to the batch count (it only
+    controls how often contention is re-evaluated)."""
+
+    def run():
+        out = {}
+        for batches in (1, 2, 4, 8):
+            env = DaosEnv(Cluster(n_servers=4, n_clients=4, seed=0))
+            cfg = WorkloadConfig(
+                n_client_nodes=4, ppn=16, ops_per_process=32, batches=batches
+            )
+            out[batches] = _bw(env, cfg, "DAOS")[0]
+        return out
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\nwrite bandwidth vs aggregate batch count (GiB/s):")
+    for batches, w in out.items():
+        print(f"  batches {batches}: {w:6.2f}")
+    values = list(out.values())
+    assert max(values) / min(values) < 1.1
+
+
+def test_ablation_ceph_object_count(benchmark):
+    """IOR-on-Ceph bandwidth rises with object count per OSD: the paper's
+    imbalance explanation is emergent from placement, not a constant."""
+
+    def run():
+        out = {}
+        for ppn in (2, 8, 32):
+            env = CephEnv(Cluster(n_servers=16, n_clients=16, seed=0))
+            cfg = WorkloadConfig(
+                n_client_nodes=16, ppn=ppn, ops_per_process=64, batches=1
+            )
+            out[ppn * 16] = _bw(env, cfg, "RADOS")[0]
+        return out
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\nIOR-on-Ceph write vs object count (256 OSDs, GiB/s):")
+    for objects, w in out.items():
+        print(f"  {objects:4d} objects: {w:6.2f}")
+    objects = sorted(out)
+    assert out[objects[-1]] > out[objects[0]]  # more objects -> better balance

@@ -1,0 +1,13 @@
+"""Sec. III-F text - IOR on Ceph.
+
+object-per-process under the 132 MiB cap: ~half of DAOS/Lustre.
+
+Run:  pytest benchmarks/bench_ceph_ior.py --benchmark-only -s
+Scale with REPRO_SCALE=full for paper-like grids.
+"""
+
+from conftest import run_figure_benchmark
+
+
+def test_ceph_ior(benchmark, figure_scale):
+    run_figure_benchmark(benchmark, "CIOR", scale=figure_scale)

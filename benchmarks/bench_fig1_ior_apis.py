@@ -1,0 +1,13 @@
+"""Fig. 1 - IOR across the four DAOS APIs.
+
+client-node/process-count optimisation of IOR (1 MiB file-per-process) through libdaos, libdfs, DFUSE, and DFUSE+IL against 16 DAOS servers.
+
+Run:  pytest benchmarks/bench_fig1_ior_apis.py --benchmark-only -s
+Scale with REPRO_SCALE=full for paper-like grids.
+"""
+
+from conftest import run_figure_benchmark
+
+
+def test_fig1_ior_apis(benchmark, figure_scale):
+    run_figure_benchmark(benchmark, "F1", scale=figure_scale)

@@ -1,0 +1,13 @@
+"""Fig. 2 - DFUSE vs DFUSE+IL at 1 KiB (IOPS).
+
+the interception library's advantage for small I/O.
+
+Run:  pytest benchmarks/bench_fig2_small_io.py --benchmark-only -s
+Scale with REPRO_SCALE=full for paper-like grids.
+"""
+
+from conftest import run_figure_benchmark
+
+
+def test_fig2_small_io(benchmark, figure_scale):
+    run_figure_benchmark(benchmark, "F2", scale=figure_scale)

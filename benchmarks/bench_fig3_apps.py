@@ -1,0 +1,13 @@
+"""Fig. 3 - HDF5 variants, Field I/O, fdb-hammer.
+
+the complex applications against 16 DAOS servers, compared with plain IOR.
+
+Run:  pytest benchmarks/bench_fig3_apps.py --benchmark-only -s
+Scale with REPRO_SCALE=full for paper-like grids.
+"""
+
+from conftest import run_figure_benchmark
+
+
+def test_fig3_apps(benchmark, figure_scale):
+    run_figure_benchmark(benchmark, "F3", scale=figure_scale)

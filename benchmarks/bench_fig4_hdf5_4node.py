@@ -1,0 +1,13 @@
+"""Fig. 4 - IOR vs HDF5/libdaos on 4 servers.
+
+shows the HDF5 DAOS adaptor is fine at small scale (its container-per-process cost only appears at larger scale).
+
+Run:  pytest benchmarks/bench_fig4_hdf5_4node.py --benchmark-only -s
+Scale with REPRO_SCALE=full for paper-like grids.
+"""
+
+from conftest import run_figure_benchmark
+
+
+def test_fig4_hdf5_4node(benchmark, figure_scale):
+    run_figure_benchmark(benchmark, "F4", scale=figure_scale)

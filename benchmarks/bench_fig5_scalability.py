@@ -1,0 +1,13 @@
+"""Fig. 5 - scalability with server count.
+
+write/read bandwidth of every interface and application as DAOS grows from a few to 24 server nodes.
+
+Run:  pytest benchmarks/bench_fig5_scalability.py --benchmark-only -s
+Scale with REPRO_SCALE=full for paper-like grids.
+"""
+
+from conftest import run_figure_benchmark
+
+
+def test_fig5_scalability(benchmark, figure_scale):
+    run_figure_benchmark(benchmark, "F5", scale=figure_scale)

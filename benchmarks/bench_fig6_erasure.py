@@ -1,0 +1,13 @@
+"""Fig. 6 - erasure coding 2+1.
+
+IOR and fdb-hammer with EC 2+1 data (RP_2 index KVs): write ~2/3, read unchanged.
+
+Run:  pytest benchmarks/bench_fig6_erasure.py --benchmark-only -s
+Scale with REPRO_SCALE=full for paper-like grids.
+"""
+
+from conftest import run_figure_benchmark
+
+
+def test_fig6_erasure(benchmark, figure_scale):
+    run_figure_benchmark(benchmark, "F6", scale=figure_scale)

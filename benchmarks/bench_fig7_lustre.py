@@ -1,0 +1,13 @@
+"""Fig. 7 - fdb-hammer on Lustre.
+
+buffered writes near IOR; reads capped by the single MDS near 40 GiB/s.
+
+Run:  pytest benchmarks/bench_fig7_lustre.py --benchmark-only -s
+Scale with REPRO_SCALE=full for paper-like grids.
+"""
+
+from conftest import run_figure_benchmark
+
+
+def test_fig7_lustre(benchmark, figure_scale):
+    run_figure_benchmark(benchmark, "F7", scale=figure_scale)

@@ -1,0 +1,13 @@
+"""Fig. 8 - fdb-hammer on Ceph librados.
+
+PG-count tuning plus the ~2/3-of-ideal ceiling from per-object OSD work.
+
+Run:  pytest benchmarks/bench_fig8_ceph.py --benchmark-only -s
+Scale with REPRO_SCALE=full for paper-like grids.
+"""
+
+from conftest import run_figure_benchmark
+
+
+def test_fig8_ceph(benchmark, figure_scale):
+    run_figure_benchmark(benchmark, "F8", scale=figure_scale)

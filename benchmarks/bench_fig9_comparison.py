@@ -1,0 +1,13 @@
+"""Fig. 9 - DAOS vs Lustre vs Ceph.
+
+fdb-hammer at 32 client nodes against all three systems.
+
+Run:  pytest benchmarks/bench_fig9_comparison.py --benchmark-only -s
+Scale with REPRO_SCALE=full for paper-like grids.
+"""
+
+from conftest import run_figure_benchmark
+
+
+def test_fig9_comparison(benchmark, figure_scale):
+    run_figure_benchmark(benchmark, "F9", scale=figure_scale)

@@ -1,0 +1,13 @@
+"""Section III-A hardware-bandwidth table.
+
+dd over all 16 NVMe devices and iperf between nodes; establishes the 3.86/7/6.25 GiB/s rooflines every figure is normalised against.
+
+Run:  pytest benchmarks/bench_hw_rawio.py --benchmark-only -s
+Scale with REPRO_SCALE=full for paper-like grids.
+"""
+
+from conftest import run_figure_benchmark
+
+
+def test_hw_rawio(benchmark, figure_scale):
+    run_figure_benchmark(benchmark, "HW", scale=figure_scale)

@@ -1,0 +1,13 @@
+"""Sec. III-E text - IOR on Lustre.
+
+large file-per-process I/O on Lustre approaches the hardware optimum.
+
+Run:  pytest benchmarks/bench_lustre_ior.py --benchmark-only -s
+Scale with REPRO_SCALE=full for paper-like grids.
+"""
+
+from conftest import run_figure_benchmark
+
+
+def test_lustre_ior(benchmark, figure_scale):
+    run_figure_benchmark(benchmark, "LIOR", scale=figure_scale)

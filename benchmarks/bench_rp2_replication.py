@@ -1,0 +1,13 @@
+"""Sec. III-D text - replication factor 2.
+
+RP_2 halves write bandwidth and leaves reads unharmed.
+
+Run:  pytest benchmarks/bench_rp2_replication.py --benchmark-only -s
+Scale with REPRO_SCALE=full for paper-like grids.
+"""
+
+from conftest import run_figure_benchmark
+
+
+def test_rp2_replication(benchmark, figure_scale):
+    run_figure_benchmark(benchmark, "RP2", scale=figure_scale)

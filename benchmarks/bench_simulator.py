@@ -1,0 +1,95 @@
+"""Performance of the simulator itself (not a paper figure).
+
+These guard the engine's throughput so figure sweeps stay fast:
+event-loop dispatch rate, flow-network reallocation cost at figure-scale
+flow counts, and a full figure-scale IOR point.
+
+Run:  pytest benchmarks/bench_simulator.py --benchmark-only
+"""
+
+from repro.hardware import Cluster
+from repro.sim.core import Simulator
+from repro.sim.flownet import FlowNetwork
+from repro.units import MiB
+from repro.workloads.common import DaosEnv, WorkloadConfig
+from repro.workloads.ior import run_ior
+
+
+def test_event_loop_dispatch(benchmark):
+    """Raw calendar throughput: 50k timeout events."""
+
+    def run():
+        sim = Simulator()
+        count = {"n": 0}
+
+        def tick():
+            count["n"] += 1
+
+        for i in range(50_000):
+            sim.schedule(i * 1e-6, tick)
+        sim.run()
+        return count["n"]
+
+    assert benchmark(run) == 50_000
+
+
+def test_process_switching(benchmark):
+    """Coroutine scheduling: 2000 processes x 20 yields."""
+
+    def run():
+        sim = Simulator()
+
+        def worker():
+            for _ in range(20):
+                yield sim.timeout(1e-5)
+
+        for _ in range(2000):
+            sim.process(worker())
+        sim.run()
+        return sim.now
+
+    benchmark(run)
+
+
+def test_flownet_reallocation_figure_scale(benchmark):
+    """Max-min reallocation with 64 node-flows over ~600 links (the
+    aggregate-mode figure workload shape)."""
+
+    def run():
+        sim = Simulator()
+        net = FlowNetwork(sim)
+        links = [net.add_link(f"l{i}", 1e9) for i in range(600)]
+        import itertools
+
+        done = {"n": 0}
+
+        def driver(i):
+            usages = [(links[(i * 17 + j) % 600], 1.0 / 50) for j in range(50)]
+            for _ in range(4):
+                flow = net.transfer(64 * MiB, usages, name=f"f{i}")
+                yield flow.done
+            done["n"] += 1
+
+        for i in range(64):
+            sim.process(driver(i))
+        sim.run()
+        return net.reallocations
+
+    reallocs = benchmark(run)
+    assert reallocs > 0
+
+
+def test_figure_scale_ior_point(benchmark):
+    """One full aggregate-mode IOR point at the paper's largest client
+    configuration (16 servers, 32x32 processes)."""
+
+    def run():
+        env = DaosEnv(Cluster(n_servers=16, n_clients=32, seed=0))
+        cfg = WorkloadConfig(
+            n_client_nodes=32, ppn=32, ops_per_process=64, batches=2
+        )
+        rec = run_ior(env, cfg, "DAOS")
+        return rec.bandwidth("write")
+
+    bw = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert bw > 0

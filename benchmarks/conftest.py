@@ -1,0 +1,43 @@
+"""Shared benchmark plumbing.
+
+Every benchmark file regenerates one figure/table of the paper.  The
+figure builders run full experiment sweeps (seconds to ~2 minutes each
+at quick scale), so each is measured with a single pedantic round.  The
+rendered report — the same rows/series the paper plots — is printed
+(visible with ``pytest -s``) and saved under ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.harness import build_figure, render_figure
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def run_figure_benchmark(benchmark, fig_id: str, scale: str = "quick"):
+    """Benchmark one figure build, save + print its report, and assert
+    every shape check transcribed from the paper passes."""
+    result = benchmark.pedantic(
+        build_figure, args=(fig_id, scale), rounds=1, iterations=1
+    )
+    report = render_figure(result)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, f"{fig_id}.txt"), "w") as fh:
+        fh.write(report + "\n")
+    print()
+    print(report)
+    failed = [c for c in result.checks if not c.passed]
+    assert not failed, "shape checks failed: " + "; ".join(
+        f"{c.description} [{c.detail}]" for c in failed
+    )
+    return result
+
+
+@pytest.fixture
+def figure_scale() -> str:
+    """Override with REPRO_SCALE=full for paper-like grids."""
+    return os.environ.get("REPRO_SCALE", "quick")

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Data protection and failure injection (paper Section III-D).
+
+Demonstrates, on a 16-server DAOS deployment:
+
+1. the bandwidth cost of redundancy — EC 2+1 writes at ~2/3 and RP_2 at
+   ~1/2 of unprotected bandwidth, reads unaffected (the paper's Fig. 6
+   and text results);
+2. actual fault tolerance — data written with redundancy survives target
+   failures via replica failover and Reed-Solomon reconstruction, while
+   unprotected data does not.
+
+Run:  python examples/redundancy_failures.py
+"""
+
+from repro.daos import DaosClient, Pool
+from repro.errors import UnavailableError
+from repro.hardware import Cluster
+from repro.units import GiB, MiB
+from repro.workloads.common import DaosEnv, WorkloadConfig
+from repro.workloads.ior import run_ior
+
+
+def bandwidth_cost() -> None:
+    print("== bandwidth cost of redundancy (16 servers, 16x32 processes) ==")
+    cfg = WorkloadConfig(n_client_nodes=16, ppn=32, ops_per_process=64)
+    results = {}
+    for label, oc in (("none", "SX"), ("EC 2+1", "EC_2P1GX"), ("RP 2", "RP_2GX")):
+        env = DaosEnv(Cluster(n_servers=16, n_clients=16, seed=3))
+        rec = run_ior(env, cfg.with_(object_class=oc), "DAOS")
+        results[label] = (rec.bandwidth("write"), rec.bandwidth("read"))
+    base_w, base_r = results["none"]
+    print(f"{'protection':<10}{'write GiB/s':>13}{'read GiB/s':>13}"
+          f"{'write vs none':>15}{'read vs none':>14}")
+    for label, (w, r) in results.items():
+        print(f"{label:<10}{w / GiB:>12.1f} {r / GiB:>12.1f} "
+              f"{w / base_w:>14.2f} {r / base_r:>13.2f}")
+    print("paper: EC 2+1 -> ~0.67x write, RP 2 -> ~0.50x write, reads ~1.0x\n")
+
+
+def failure_tolerance() -> None:
+    print("== failure injection ==")
+    cluster = Cluster(n_servers=4, n_clients=1, seed=11)
+    pool = Pool(cluster)
+    client = DaosClient(cluster, pool, cluster.clients[0])
+    payload = bytes(range(256)) * (2 * MiB // 256)
+
+    def scenario():
+        cont = yield from client.create_container("protected")
+        plain = yield from client.create_array(cont, oc="S1", chunk_size=MiB)
+        ec = yield from client.create_array(cont, oc="EC_2P1", chunk_size=MiB)
+        rp = yield from client.create_array(cont, oc="RP_2", chunk_size=MiB)
+        for arr in (plain, ec, rp):
+            yield from client.array_write(arr, 0, payload)
+        # kill one target under each object
+        for arr, name in ((plain, "S1"), (ec, "EC_2P1"), (rp, "RP_2")):
+            victim = arr.groups[0][0]
+            pool.fail_target(victim.global_index)
+            try:
+                data = yield from client.array_read(arr, 0, len(payload))
+                ok = data == payload
+                print(f"  {name:8s}: read after failure -> "
+                      f"{'data intact' if ok else 'CORRUPTED'}")
+            except UnavailableError:
+                print(f"  {name:8s}: read after failure -> UNAVAILABLE (as expected)")
+
+    proc = cluster.sim.process(scenario())
+    cluster.sim.run()
+    _ = proc.result
+
+
+if __name__ == "__main__":
+    bandwidth_cost()
+    failure_tolerance()

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Weather-field archiving: the paper's NWP motivation, end to end.
+
+ECMWF's use case (paper Section II-A): forecast model processes archive
+a stream of weather fields — each identified by a meteorological key —
+into FDB, and downstream products retrieve them.  This example runs the
+same FDB API against all three storage backends the paper compares
+(DAOS, Lustre/POSIX, Ceph/librados) and prints the archive/retrieve
+rates, reproducing the paper's headline: only DAOS keeps both fast.
+
+Run:  python examples/weather_fields.py
+"""
+
+from repro.ceph import CephCluster, RadosClient
+from repro.daos import DaosClient, Pool
+from repro.fdb import FDB, FdbDaosBackend, FdbPosixBackend, FdbRadosBackend, key_sequence
+from repro.hardware import Cluster
+from repro.lustre import LustreClient, LustreFilesystem
+from repro.units import MiB, fmt_bw
+
+N_FIELDS = 48
+FIELD_SIZE = MiB  # ~ one GRIB2 surface field
+
+
+def run_backend(name: str, make_backend) -> None:
+    cluster = Cluster(n_servers=4, n_clients=1, seed=7)
+    backend = make_backend(cluster)
+    fdb = FDB(backend)
+    keys = list(key_sequence(N_FIELDS, member=1))
+    stats = {}
+
+    def forecast_run():
+        yield from fdb.open(writer=True)
+        t0 = cluster.sim.now
+        for key in keys:
+            # a real model would hand over the GRIB-coded field here
+            yield from fdb.archive(key, nbytes=FIELD_SIZE)
+        yield from fdb.flush()
+        stats["archive"] = N_FIELDS * FIELD_SIZE / (cluster.sim.now - t0)
+        t0 = cluster.sim.now
+        for key in keys:
+            data = yield from fdb.retrieve(key)
+            assert len(data) == FIELD_SIZE
+        stats["retrieve"] = N_FIELDS * FIELD_SIZE / (cluster.sim.now - t0)
+        yield from fdb.close()
+
+    proc = cluster.sim.process(forecast_run())
+    cluster.sim.run()
+    _ = proc.result
+    print(f"{name:18s} archive {fmt_bw(stats['archive']):>13s}   "
+          f"retrieve {fmt_bw(stats['retrieve']):>13s}")
+
+
+def main() -> None:
+    print(f"archiving {N_FIELDS} fields of 1 MiB per backend "
+          "(single process; see the harness for at-scale sweeps)\n")
+
+    def daos(cluster):
+        pool = Pool(cluster)
+        client = DaosClient(cluster, pool, cluster.clients[0])
+        return FdbDaosBackend(client, proc_id=1)
+
+    def lustre(cluster):
+        fs = LustreFilesystem(cluster)
+        client = LustreClient(fs, cluster.clients[0])
+        return FdbPosixBackend(
+            client, proc_id=1,
+            create_kwargs={"stripe_count": 8, "stripe_size": 8 * MiB},
+        )
+
+    def ceph(cluster):
+        ceph_cluster = CephCluster(cluster)
+        client = RadosClient(ceph_cluster, cluster.clients[0])
+        return FdbRadosBackend(client, proc_id=1, pg_num=1024)
+
+    run_backend("FDB on DAOS", daos)
+    run_backend("FDB on Lustre", lustre)
+    run_backend("FDB on Ceph", ceph)
+    print(
+        "\nWith a single process the POSIX backend looks healthy: an idle\n"
+        "MDS answers its per-field opens instantly, and buffered writes fly.\n"
+        "The paper's story appears under concurrency, when thousands of\n"
+        "readers hammer that one MDS - run examples/storage_comparison.py\n"
+        "to see Lustre's retrieve bandwidth collapse while DAOS holds."
+    )
+
+
+if __name__ == "__main__":
+    main()

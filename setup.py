@@ -1,0 +1,7 @@
+from setuptools import setup
+
+# Legacy shim: this environment is offline with setuptools 65 and no
+# `wheel`, so PEP 660 editable installs are unavailable; `pip install -e .
+# --no-use-pep517` routes through this file instead. All metadata lives in
+# pyproject.toml.
+setup()

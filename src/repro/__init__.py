@@ -1,0 +1,25 @@
+"""repro: reproduction of "Exploring DAOS Interfaces and Performance" (SC 2024).
+
+A flow-level discrete-event simulation of the paper's entire
+experimental stack — DAOS (with libdaos, libdfs, DFUSE, and the
+interception library), Lustre, Ceph, HDF5, and ECMWF's FDB — plus the
+four benchmark applications and a harness that regenerates every figure.
+
+Start here:
+
+>>> from repro.hardware import Cluster
+>>> from repro.daos import Pool, DaosClient
+>>> cluster = Cluster(n_servers=4, n_clients=2, seed=0)
+>>> pool = Pool(cluster)
+>>> client = DaosClient(cluster, pool, cluster.clients[0])
+
+See README.md for the architecture map, DESIGN.md for the substitution
+policy and experiment index, and ``repro.harness`` for the figures.
+"""
+
+from repro import errors, units
+from repro.hardware import Cluster
+
+__version__ = "1.0.0"
+
+__all__ = ["Cluster", "errors", "units", "__version__"]

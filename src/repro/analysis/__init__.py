@@ -1,0 +1,30 @@
+"""Analysis utilities: rooflines, scaling fits, plateau detection.
+
+The paper's narrative is built on a handful of quantitative judgements —
+"close to the calculated optimum", "scales approximately linearly",
+"stops scaling beyond 16 server nodes", "approximately two thirds".
+This package turns those phrases into reusable, tested computations that
+the harness's shape checks and downstream users share.
+"""
+
+from repro.analysis.bandwidth import (
+    efficiency,
+    read_roofline,
+    write_roofline,
+)
+from repro.analysis.scaling import (
+    crossover,
+    detect_plateau,
+    linear_fit,
+    scaling_efficiency,
+)
+
+__all__ = [
+    "write_roofline",
+    "read_roofline",
+    "efficiency",
+    "linear_fit",
+    "scaling_efficiency",
+    "detect_plateau",
+    "crossover",
+]

@@ -1,0 +1,85 @@
+"""Scaling-curve analysis: linear fits, plateaus, crossovers."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import InvalidArgumentError
+
+__all__ = ["linear_fit", "scaling_efficiency", "detect_plateau", "crossover"]
+
+
+def _validate(xs: Sequence[float], ys: Sequence[float], min_points: int = 2) -> None:
+    if len(xs) != len(ys):
+        raise InvalidArgumentError(f"length mismatch: {len(xs)} xs vs {len(ys)} ys")
+    if len(xs) < min_points:
+        raise InvalidArgumentError(f"need >= {min_points} points, got {len(xs)}")
+
+
+def linear_fit(xs: Sequence[float], ys: Sequence[float]) -> Tuple[float, float, float]:
+    """Least-squares line through a scaling curve.
+
+    Returns ``(slope, intercept, r_squared)``.  An r² near 1 with positive
+    slope is what the paper calls "scales approximately linearly".
+    """
+    _validate(xs, ys)
+    x = np.asarray(xs, dtype=float)
+    y = np.asarray(ys, dtype=float)
+    slope, intercept = np.polyfit(x, y, 1)
+    predicted = slope * x + intercept
+    ss_res = float(((y - predicted) ** 2).sum())
+    ss_tot = float(((y - y.mean()) ** 2).sum())
+    r2 = 1.0 if ss_tot == 0 else 1.0 - ss_res / ss_tot
+    return float(slope), float(intercept), r2
+
+
+def scaling_efficiency(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """End-to-end speedup relative to ideal linear scaling from the first
+    point: 1.0 = perfectly linear, 0.5 = half the ideal growth."""
+    _validate(xs, ys)
+    if xs[0] <= 0 or ys[0] <= 0:
+        raise InvalidArgumentError("first point must be positive")
+    ideal = ys[0] * (xs[-1] / xs[0])
+    return ys[-1] / ideal
+
+
+def detect_plateau(
+    xs: Sequence[float], ys: Sequence[float], tolerance: float = 0.10
+) -> Optional[float]:
+    """Find where a curve stops growing ("stops scaling beyond N nodes").
+
+    Returns the x value after which every subsequent y stays within
+    ``tolerance`` of the y at that x (i.e. the knee), or None if the
+    curve keeps growing to the last point.
+    """
+    _validate(xs, ys)
+    n = len(xs)
+    for i in range(n - 1):
+        anchor = ys[i]
+        if anchor <= 0:
+            continue
+        if all(abs(ys[j] - anchor) <= tolerance * anchor for j in range(i + 1, n)):
+            return float(xs[i])
+    return None
+
+
+def crossover(
+    xs: Sequence[float], ys_a: Sequence[float], ys_b: Sequence[float]
+) -> Optional[float]:
+    """x position where curve A overtakes (or falls behind) curve B,
+    linearly interpolated; None if the sign of (A - B) never changes."""
+    _validate(xs, ys_a)
+    _validate(xs, ys_b)
+    diff = [a - b for a, b in zip(ys_a, ys_b)]
+    for i in range(len(diff) - 1):
+        d0, d1 = diff[i], diff[i + 1]
+        if d0 == 0:
+            return float(xs[i])
+        if d0 * d1 < 0:
+            frac = abs(d0) / (abs(d0) + abs(d1))
+            return float(xs[i] + frac * (xs[i + 1] - xs[i]))
+    if diff[-1] == 0:
+        return float(xs[-1])
+    return None

@@ -1,0 +1,34 @@
+"""Ceph model: monitor, placement groups, OSDs, and a librados client.
+
+Paper Section III-F deploys Ceph on the same hardware (16 OSDs per node,
+one monitor node, no data protection) and finds:
+
+- IOR with an object per process reaches only ~25/50 GiB/s because Ceph
+  "cannot shard objects across OSDs unless enabling erasure-code or
+  replication" — each object's bandwidth is bounded by one OSD, and a
+  modest number of objects lands unevenly over OSDs (balls into bins);
+- fdb-hammer with an object per 1 MiB field reaches ~40/70 GiB/s — many
+  objects balance over 1024 PGs, but per-op OSD overhead (journaling,
+  checksumming, PG locking) keeps it at roughly two thirds of the
+  hardware roofline.
+
+Both effects are structural here: placement is really computed per
+object through the PG map, and OSD byte efficiencies (< 1) price the
+per-object server-side work.
+"""
+
+from repro.ceph.monitor import CephCluster, Monitor
+from repro.ceph.osd import Osd
+from repro.ceph.params import CephParams
+from repro.ceph.placement import PgMap
+from repro.ceph.rados import CephPool, RadosClient
+
+__all__ = [
+    "CephCluster",
+    "Monitor",
+    "Osd",
+    "CephParams",
+    "PgMap",
+    "CephPool",
+    "RadosClient",
+]

@@ -1,0 +1,75 @@
+"""The Ceph monitor and the cluster handle."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.ceph.osd import Osd
+from repro.ceph.params import CephParams
+from repro.errors import ConfigError, ExistsError, NotFoundError
+from repro.hardware.cluster import Cluster, ServerNode
+from repro.sim.flownet import Link
+
+__all__ = ["Monitor", "CephCluster"]
+
+
+class Monitor:
+    """A Ceph monitor: serves cluster/OSD maps and pool metadata.
+
+    The paper deploys it on a dedicated node with no NVMe; it carries no
+    data traffic, so only its request capacity is modelled.
+    """
+
+    def __init__(self, net, capacity: float, name: str = "ceph.mon"):
+        self.link: Link = net.add_link(name, capacity)
+        self.epoch = 1
+
+    def bump_epoch(self) -> None:
+        self.epoch += 1
+
+
+class CephCluster:
+    """A deployed Ceph: OSDs on every given server node + one monitor."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        params: Optional[CephParams] = None,
+        server_nodes: Optional[List[ServerNode]] = None,
+        name: str = "ceph0",
+    ):
+        nodes = server_nodes if server_nodes is not None else cluster.servers
+        if not nodes:
+            raise ConfigError("Ceph needs at least one OSD node")
+        self.cluster = cluster
+        self.params = params or CephParams()
+        self.name = name
+        self.osds: List[Osd] = []
+        for node in nodes:
+            for d, device in enumerate(node.devices):
+                osd = Osd(cluster.net, node, d, device, self.params.osd_op_capacity)
+                osd.index = len(self.osds)
+                self.osds.append(osd)
+        self.monitor = Monitor(
+            cluster.net, self.params.monitor_capacity, name=f"{name}.mon"
+        )
+        self.pools: Dict[str, "CephPool"] = {}
+
+    @property
+    def n_osds(self) -> int:
+        return len(self.osds)
+
+    def register_pool(self, pool: "CephPool") -> None:
+        if pool.name in self.pools:
+            raise ExistsError(f"pool {pool.name!r} already exists")
+        self.pools[pool.name] = pool
+        self.monitor.bump_epoch()
+
+    def get_pool(self, name: str) -> "CephPool":
+        try:
+            return self.pools[name]
+        except KeyError:
+            raise NotFoundError(f"pool {name!r} not found") from None
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<CephCluster {self.name} osds={self.n_osds} pools={len(self.pools)}>"

@@ -1,0 +1,60 @@
+"""Object Storage Daemons: one per NVMe device."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.hardware.cluster import ServerNode
+from repro.hardware.ssd import SsdDevice
+from repro.sim.flownet import FlowNetwork, Link
+
+__all__ = ["Osd"]
+
+
+class Osd:
+    """One OSD: an object store on one device plus a request-slot link."""
+
+    def __init__(
+        self,
+        net: FlowNetwork,
+        node: ServerNode,
+        local_index: int,
+        device: SsdDevice,
+        op_capacity: float,
+    ):
+        self.node = node
+        self.local_index = local_index
+        self.device = device
+        self.index: int = -1  # global, assigned by the cluster
+        self.alive = True
+        self.op_link: Link = net.add_link(
+            f"osd.{node.name}.{local_index}.ops", op_capacity
+        )
+        #: (pool_name, object_name) -> {"data": bytearray, "omap": dict,
+        #: "size": int}
+        self.objects: Dict[tuple, dict] = {}
+
+    def fail(self) -> None:
+        """Mark the OSD out; its objects are considered lost."""
+        self.alive = False
+        self.objects.clear()
+
+    def restore(self) -> None:
+        self.alive = True
+
+    @property
+    def name(self) -> str:
+        return f"osd{self.index}@{self.node.name}"
+
+    def obj(self, key: tuple) -> dict:
+        record = self.objects.get(key)
+        if record is None:
+            record = {"data": bytearray(), "omap": {}, "size": 0}
+            self.objects[key] = record
+        return record
+
+    def drop(self, key: tuple) -> None:
+        self.objects.pop(key, None)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Osd {self.name} objects={len(self.objects)}>"

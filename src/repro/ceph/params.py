@@ -1,0 +1,38 @@
+"""Calibration constants of the Ceph model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.units import MiB
+
+__all__ = ["CephParams"]
+
+
+@dataclass(frozen=True)
+class CephParams:
+    """Tunables, with rationale:
+
+    - ``write_efficiency`` / ``read_efficiency`` — fraction of raw device
+      bandwidth the OSD data path delivers (BlueStore WAL/journaling,
+      checksums, PG locking).  The paper's fdb-hammer results peg these:
+      ~40 of 61.76 GiB/s write (~0.66) and ~70 of 100 GiB/s read (~0.70).
+    - ``max_object_size`` — "we configured Ceph with the recommended
+      maximum object size of 132 MiB"; larger objects are rejected, as
+      configuring Ceph for them "is discouraged and resulted in low write
+      performance".
+    - ``osd_op_capacity`` — request slots per OSD per second; binds only
+      for small-object storms, not 1 MiB traffic.
+    - ``default_pg_num`` — PGs per pool when the caller does not tune it;
+      the paper found 1024 optimal for its 256-OSD pool.
+    """
+
+    rpc_rtt: float = 70e-6
+    client_io_overhead: float = 35e-6
+    write_efficiency: float = 0.66
+    read_efficiency: float = 0.70
+    protocol_efficiency: float = 0.94
+    max_object_size: int = 132 * MiB
+    osd_op_capacity: float = 5_000.0
+    default_pg_num: int = 256
+    monitor_capacity: float = 10_000.0

@@ -1,0 +1,45 @@
+"""Functional DAOS model: pools, containers, Arrays, Key-Values.
+
+This package reproduces the DAOS storage model the paper exercises
+(Section I and [18]):
+
+- a **pool** spans one engine per server node, each engine exposing 16
+  **targets** (one per NVMe device), with metadata held in DRAM;
+- **containers** provide isolated object namespaces;
+- **objects** are Arrays (bulk 1-D byte arrays) or Key-Values, created
+  with a 128-bit OID whose **object class** (``S1``, ``SX``, ``RP_2``,
+  ``EC_2P1``, ...) controls sharding, replication, and erasure coding;
+- a small fixed-size **pool service** handles pool/container metadata
+  (the component whose constant capacity explains the HDF5 DAOS-adaptor
+  scalability ceiling the paper observes).
+
+The store is *functional*: data is really sharded, replicated, and
+Reed-Solomon coded across targets, so tests can kill a target and read
+back through reconstruction.  Timing comes from the flow network via
+:class:`repro.daos.client.DaosClient`.
+"""
+
+from repro.daos.array import DaosArray
+from repro.daos.client import DaosClient
+from repro.daos.container import Container
+from repro.daos.kv import DaosKV
+from repro.daos.objclass import ObjectClass
+from repro.daos.oid import ObjectId
+from repro.daos.params import DaosParams
+from repro.daos.pool import Engine, Pool, Target
+from repro.daos.rebuild import RebuildReport, run_rebuild
+
+__all__ = [
+    "Pool",
+    "Engine",
+    "Target",
+    "Container",
+    "DaosArray",
+    "DaosKV",
+    "DaosClient",
+    "ObjectClass",
+    "ObjectId",
+    "DaosParams",
+    "run_rebuild",
+    "RebuildReport",
+]

@@ -1,0 +1,351 @@
+"""libdaos client: the timed API over the functional store.
+
+Every method is a simulation coroutine (``yield from client.op(...)``):
+
+1. a serial latency charge (RPC round trip + client CPU, with an
+   optional per-client lognormal jitter factor so the paper-style
+   repetitions differ);
+2. the functional operation on the store (which may raise, after the
+   RTT has been paid, as a real failed RPC would);
+3. a flow through the network/device/metadata links sized from the
+   per-target byte charges the functional layer reports (data-protection
+   amplification is therefore priced exactly, not by a factor table).
+
+Workload batching: benchmark backends that move millions of operations
+aggregate per-batch link loads with :meth:`DaosArray.write`-computed or
+:meth:`bulk_loads`-style profiles and push them through
+:meth:`DaosClient.bulk_transfer`, which is the same flow construction
+without the per-op serial charge (the caller accounts it in one lump,
+see ``repro.workloads``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, Optional
+
+import numpy as np
+
+from repro.daos.array import DaosArray
+from repro.daos.container import Container
+from repro.daos.kv import DaosKV
+from repro.daos.objclass import ObjectClass
+from repro.daos.params import DaosParams
+from repro.daos.pool import Engine, Pool, Target
+from repro.errors import InvalidArgumentError
+from repro.hardware.cluster import ClientNode, Cluster
+from repro.sim.flownet import Link
+from repro.units import MiB
+
+__all__ = ["DaosClient"]
+
+
+class DaosClient:
+    """A libdaos client bound to one client node."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        pool: Pool,
+        node: ClientNode,
+        name: Optional[str] = None,
+        jitter_sigma: float = 0.0,
+    ):
+        self.cluster = cluster
+        self.pool = pool
+        self.node = node
+        self.sim = cluster.sim
+        self.net = cluster.net
+        self.params: DaosParams = pool.params
+        self.name = name or f"daos@{node.name}"
+        #: per-client multiplicative jitter on serial overheads
+        self.jitter = cluster.rng.lognormal_factor(f"{self.name}.jitter", jitter_sigma)
+        # Per-op latency noise: real RPCs vary op to op, which is what
+        # desynchronises lockstepped sequential writers whose layouts
+        # would otherwise collide on the same server forever.
+        self._op_rng = cluster.rng.stream(f"{self.name}.op-jitter")
+        self.op_jitter_sigma = 0.1
+
+    # ------------------------------------------------------------------ timing
+    def _serial(self, extra: float = 0.0):
+        """Waitable for one RPC round trip plus client CPU."""
+        dt = (self.params.rpc_rtt + self.params.client_io_overhead + extra) * self.jitter
+        if self.op_jitter_sigma > 0:
+            dt *= float(np.exp(self._op_rng.normal(0.0, self.op_jitter_sigma)))
+        return self.sim.timeout(dt)
+
+    def _link_loads_for_data(
+        self,
+        kind: str,
+        charges: Dict[Target, int],
+        touch_ssd: bool = True,
+        touch_net: bool = True,
+    ) -> Dict[Link, float]:
+        """Absolute link-unit consumption for a data movement.
+
+        ``charges`` is per-target wire bytes (amplification included).
+        Write: client NIC TX -> server NIC RX -> SSD write channels.
+        Read: SSD read channels -> server NIC TX -> client NIC RX.
+        Writes charge the *node-aggregate* SSD links but not individual
+        device channels: engines buffer incoming extents and flush them
+        asynchronously (VOS write-ahead behaviour), so the device that
+        ultimately absorbs one op never serialises that op — but a node's
+        total SSD write bandwidth still bounds sustained throughput.
+        Reads are synchronous and charge the specific device serving each
+        extent in addition to the aggregate.
+        """
+        if kind not in ("write", "read"):
+            raise InvalidArgumentError(f"kind must be 'write' or 'read': {kind}")
+        eff = self.params.protocol_efficiency
+        loads: Dict[Link, float] = {}
+
+        def add(link: Link, amount: float) -> None:
+            loads[link] = loads.get(link, 0.0) + amount
+
+        total = float(sum(charges.values()))
+        if total <= 0:
+            return loads
+        if touch_net:
+            if kind == "write":
+                add(self.node.nic_tx, total / eff)
+            else:
+                add(self.node.nic_rx, total / eff)
+        per_node: Dict[int, float] = {}
+        for target, nbytes in charges.items():
+            node = target.engine.node
+            per_node[node.index] = per_node.get(node.index, 0.0) + nbytes
+            if touch_ssd and kind == "read":
+                # read-ahead spreads a sequential stream's device load
+                # over the next `readahead_depth` rotating targets; over a
+                # run every device still absorbs its full share
+                add(target.device.read_link, nbytes / eff / self.params.readahead_depth)
+        for node_index, nbytes in per_node.items():
+            node = self.cluster.servers[node_index]
+            if kind == "write":
+                if touch_net:
+                    add(node.nic_rx, nbytes / eff)
+                if touch_ssd:
+                    add(node.ssd_agg_w, nbytes / eff)
+            else:
+                if touch_net:
+                    add(node.nic_tx, nbytes / eff)
+                if touch_ssd:
+                    add(node.ssd_agg_r, nbytes / eff)
+        return loads
+
+    def _transfer(
+        self,
+        name: str,
+        units: float,
+        loads: Dict[Link, float],
+        demand_cap: float = float("inf"),
+    ) -> Generator:
+        """Run one flow of ``units`` with the given absolute link loads."""
+        if units <= 0:
+            return
+        usages = [(link, load / units) for link, load in loads.items() if load > 0]
+        if not usages:
+            return
+        flow = self.net.transfer(units, usages, demand_cap=demand_cap, name=name)
+        yield flow.done
+
+    def bulk_transfer(
+        self,
+        kind: str,
+        charges: Dict[Target, int],
+        md_ops_by_engine: Optional[Dict[Engine, float]] = None,
+        rsvc_ops: float = 0.0,
+        touch_ssd: bool = True,
+        extra_loads: Optional[Dict[Link, float]] = None,
+        demand_cap: float = float("inf"),
+        name: str = "bulk",
+    ) -> Generator:
+        """One aggregated flow for a batch of operations (no serial charge).
+
+        Metadata work rides the same flow as extra link loads, so a batch
+        that is metadata-bound is throttled by the metadata links exactly
+        as its data would be by NICs.  ``extra_loads`` lets callers couple
+        arbitrary links (e.g. a DFUSE daemon's request pool) to the flow.
+        """
+        loads = self._link_loads_for_data(kind, charges, touch_ssd=touch_ssd)
+        total_md = 0.0
+        if md_ops_by_engine:
+            for engine, ops in md_ops_by_engine.items():
+                if ops > 0:
+                    loads[engine.md_link] = loads.get(engine.md_link, 0.0) + ops
+                    total_md += ops
+        if rsvc_ops > 0:
+            loads[self.pool.rsvc_link] = loads.get(self.pool.rsvc_link, 0.0) + rsvc_ops
+            total_md += rsvc_ops
+        if extra_loads:
+            for link, amount in extra_loads.items():
+                if amount > 0:
+                    loads[link] = loads.get(link, 0.0) + amount
+                    total_md += amount
+        units = float(sum(charges.values()))
+        if units <= 0:
+            units = max(total_md, 1.0)
+        yield from self._transfer(f"{self.name}.{name}", units, loads, demand_cap=demand_cap)
+
+    def _md_flow(self, ops_by_engine: Dict[Engine, float], rsvc_ops: float = 0.0, name: str = "md") -> Generator:
+        yield from self.bulk_transfer("write", {}, ops_by_engine, rsvc_ops, name=name)
+
+    # ------------------------------------------------------------- pool level
+    def connect(self) -> Generator:
+        """Connect to the pool (one pool-service round trip)."""
+        yield self._serial()
+        yield from self._md_flow({}, rsvc_ops=1.0, name="connect")
+
+    def create_container(self, label: str, **properties) -> Generator:
+        """Create and open a container; returns the :class:`Container`.
+
+        The functional registration happens before the first yield so a
+        concurrent create of the same label fails fast with ExistsError
+        rather than racing the cooperative scheduler.
+        """
+        cont = self.pool.create_container(label, **properties)
+        yield self._serial()
+        yield from self._md_flow(
+            {}, rsvc_ops=self.params.container_create_rsvc_ops, name="cont-create"
+        )
+        return cont
+
+    def open_container(self, label: str) -> Generator:
+        yield self._serial()
+        cont = self.pool.get_container(label)
+        yield from self._md_flow(
+            {}, rsvc_ops=self.params.container_open_rsvc_ops, name="cont-open"
+        )
+        return cont
+
+    def destroy_container(self, label: str) -> Generator:
+        """Destroy a container and everything in it (space is reclaimed
+        asynchronously server-side; the client pays the RSVC commit)."""
+        yield self._serial()
+        self.pool.destroy_container(label)
+        yield from self._md_flow(
+            {}, rsvc_ops=self.params.container_create_rsvc_ops, name="cont-destroy"
+        )
+
+    # ---------------------------------------------------------------- objects
+    def _object_md(self, cont: Container, ops: float, name: str) -> Generator:
+        yield from self._md_flow({cont.home_engine: ops}, name=name)
+
+    def create_array(
+        self,
+        cont: Container,
+        oc: "str | ObjectClass | None" = None,
+        chunk_size: int = MiB,
+    ) -> Generator:
+        """Create a new Array object; returns the :class:`DaosArray`."""
+        arr = cont.new_array(oc, chunk_size=chunk_size)
+        yield self._serial()
+        yield from self._object_md(cont, self.params.object_create_md_ops, "arr-create")
+        return arr
+
+    def open_array(self, cont: Container, oid) -> Generator:
+        yield self._serial()
+        arr = cont.lookup(oid)
+        if not isinstance(arr, DaosArray):
+            raise InvalidArgumentError(f"object {oid} is not an Array")
+        yield from self._object_md(cont, self.params.object_open_md_ops, "arr-open")
+        return arr
+
+    def create_kv(self, cont: Container, oc: "str | ObjectClass | None" = None) -> Generator:
+        """Create a new Key-Value object; returns the :class:`DaosKV`."""
+        kv = cont.new_kv(oc)
+        yield self._serial()
+        yield from self._object_md(cont, self.params.object_create_md_ops, "kv-create")
+        return kv
+
+    def open_kv(self, cont: Container, oid) -> Generator:
+        yield self._serial()
+        kv = cont.lookup(oid)
+        if not isinstance(kv, DaosKV):
+            raise InvalidArgumentError(f"object {oid} is not a KV")
+        yield from self._object_md(cont, self.params.object_open_md_ops, "kv-open")
+        return kv
+
+    # -------------------------------------------------------------- array I/O
+    def _request_ops(self, charges: Dict[Target, int]) -> Dict[Engine, float]:
+        """Each target RPC consumes one request slot on its engine; this is
+        what bounds small-I/O IOPS server-side (paper Fig. 2)."""
+        ops: Dict[Engine, float] = {}
+        for target in charges:
+            ops[target.engine] = ops.get(target.engine, 0.0) + 1.0
+        return ops
+
+    def array_write(
+        self,
+        arr: DaosArray,
+        offset: int,
+        data: Optional[bytes] = None,
+        nbytes: Optional[int] = None,
+    ) -> Generator:
+        """Timed Array write (see :meth:`DaosArray.write` for semantics).
+
+        Engines buffer and flush asynchronously, so the op is bounded by
+        NICs and the node-aggregate SSD channel, never by the single
+        device absorbing it (see :meth:`_link_loads_for_data`).
+        """
+        yield self._serial()
+        charges = arr.write(offset, data=data, nbytes=nbytes)
+        yield from self.bulk_transfer(
+            "write", charges, self._request_ops(charges), name="arr-write"
+        )
+
+    def array_read(self, arr: DaosArray, offset: int, nbytes: int) -> Generator:
+        """Timed Array read; returns the bytes."""
+        yield self._serial()
+        data, charges = arr.read(offset, nbytes)
+        yield from self.bulk_transfer(
+            "read", charges, self._request_ops(charges), name="arr-read"
+        )
+        return data
+
+    def array_size(self, arr: DaosArray) -> Generator:
+        """Timed size query (the per-read check Field I/O performs and
+        fdb-hammer avoids, paper Section III-B)."""
+        yield self._serial()
+        engine = arr.groups[0][0].engine
+        yield from self._md_flow({engine: 1.0}, name="arr-size")
+        return arr.size()
+
+    def array_truncate(self, arr: DaosArray, new_size: int) -> Generator:
+        yield self._serial()
+        arr.truncate(new_size)
+        engine = arr.groups[0][0].engine
+        yield from self._md_flow({engine: 1.0}, name="arr-truncate")
+
+    # ----------------------------------------------------------------- KV I/O
+    def _kv_md_ops(self, charges: Dict[Target, int]) -> Dict[Engine, float]:
+        ops: Dict[Engine, float] = {}
+        for target in charges:
+            ops[target.engine] = ops.get(target.engine, 0.0) + 1.0
+        return ops
+
+    def kv_put(self, kv: DaosKV, key: str, value: bytes) -> Generator:
+        """Timed KV put; replicas are charged one md op + value bytes each.
+        KV data lives in engine DRAM (the paper's deployments store
+        metadata in DRAM), so no SSD channel is charged."""
+        yield self._serial()
+        charges = kv.put(key, value)
+        yield from self.bulk_transfer(
+            "write", charges, self._kv_md_ops(charges), touch_ssd=False, name="kv-put"
+        )
+
+    def kv_get(self, kv: DaosKV, key: str) -> Generator:
+        """Timed KV get; returns the value bytes."""
+        yield self._serial()
+        value, target = kv.get(key)
+        charges = {target: len(value)}
+        yield from self.bulk_transfer(
+            "read", charges, {target.engine: 1.0}, touch_ssd=False, name="kv-get"
+        )
+        return value
+
+    def kv_remove(self, kv: DaosKV, key: str) -> Generator:
+        yield self._serial()
+        gi = kv._group_for(key)
+        engines = {t.engine for t in kv.groups[gi] if t.alive}
+        kv.remove(key)
+        yield from self._md_flow({e: 1.0 for e in engines}, name="kv-remove")

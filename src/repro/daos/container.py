@@ -1,0 +1,119 @@
+"""Containers: isolated object namespaces inside a pool."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.daos.objclass import ObjectClass
+from repro.daos.oid import ObjectId
+from repro.daos.placement import jump_consistent_hash
+from repro.errors import NotFoundError
+from repro.sim.randomness import stable_hash64
+
+__all__ = ["Container"]
+
+
+class Container:
+    """An object namespace with its own OID allocator and transaction
+    epoch counter.
+
+    ``materialize`` (a container property) controls whether object data
+    bytes are actually stored: benchmarks that move simulated terabytes
+    switch it off while keeping extents/placement exact, so size queries
+    and degraded-path decisions still work.
+    """
+
+    def __init__(self, pool, label: str, cont_id: int, properties: Optional[dict] = None):
+        self.pool = pool
+        self.label = label
+        self.id = cont_id
+        self.properties = dict(properties or {})
+        self.objects: Dict[ObjectId, object] = {}
+        self._next_user_oid = 1
+        self.epoch = 0  # bumped by every mutation; a cheap transaction history
+
+    @property
+    def materialize(self) -> bool:
+        return bool(self.properties.get("materialize", True))
+
+    @property
+    def home_engine(self):
+        """Engine holding this container's object-table metadata."""
+        engines = self.pool.engines
+        idx = jump_consistent_hash(stable_hash64(self.pool.label, self.label), len(engines))
+        return engines[idx]
+
+    # -- OID allocation ----------------------------------------------------
+    def alloc_oid(self, class_id: int = 0) -> ObjectId:
+        """Allocate the next user-managed OID (96 user bits)."""
+        oid = ObjectId.from_user(self._next_user_oid, class_id=class_id)
+        self._next_user_oid += 1
+        return oid
+
+    # -- object registry (functional; clients add timing) --------------------
+    def register(self, oid: ObjectId, obj: object) -> None:
+        from repro.errors import ExistsError
+
+        if oid in self.objects:
+            raise ExistsError(f"object {oid} already exists in container {self.label!r}")
+        self.objects[oid] = obj
+        self.epoch += 1
+
+    def lookup(self, oid: ObjectId):
+        try:
+            return self.objects[oid]
+        except KeyError:
+            raise NotFoundError(f"object {oid} not found in container {self.label!r}") from None
+
+    def remove(self, oid: ObjectId) -> None:
+        obj = self.lookup(oid)
+        wipe = getattr(obj, "wipe", None)
+        if wipe is not None:
+            wipe()
+        del self.objects[oid]
+        self.epoch += 1
+
+    def wipe(self) -> None:
+        """Drop every object (container destroy)."""
+        for obj in list(self.objects.values()):
+            wipe = getattr(obj, "wipe", None)
+            if wipe is not None:
+                wipe()
+        self.objects.clear()
+        self.epoch += 1
+
+    def new_kv(self, oc: "str | ObjectClass | None" = None):
+        """Synchronously create+register a KV object (functional only).
+
+        Used where object creation must be atomic with respect to the
+        cooperative scheduler (shared-structure bootstrap); clients add
+        the timing separately.
+        """
+        from repro.daos.kv import DaosKV
+
+        klass = ObjectClass.parse(oc) if oc is not None else self.default_object_class("kv")
+        oid = self.alloc_oid()
+        kv = DaosKV(self, oid, klass)
+        self.register(oid, kv)
+        return kv
+
+    def new_array(self, oc: "str | ObjectClass | None" = None, chunk_size: int = 1 << 20):
+        """Synchronously create+register an Array object (functional only)."""
+        from repro.daos.array import DaosArray
+
+        klass = ObjectClass.parse(oc) if oc is not None else self.default_object_class("array")
+        oid = self.alloc_oid()
+        arr = DaosArray(self, oid, klass, chunk_size=chunk_size)
+        self.register(oid, arr)
+        return arr
+
+    def default_object_class(self, kind: str) -> ObjectClass:
+        """Container-level default class for new objects (``kind`` is
+        ``"array"`` or ``"kv"``), overridable via properties."""
+        prop = self.properties.get(f"{kind}_class")
+        if prop is not None:
+            return ObjectClass.parse(prop)
+        return ObjectClass.parse("SX" if kind == "array" else "S1")
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Container {self.label!r} objects={len(self.objects)}>"

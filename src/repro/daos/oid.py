@@ -1,0 +1,58 @@
+"""128-bit DAOS object identifiers.
+
+Paper Section I: "Upon creation, objects are assigned a 128-bit unique
+object identifier (OID), of which 96 bits are user-managed."  We follow
+the real layout: the top 32 bits of ``hi`` are DAOS-managed (they encode
+the object class and type), the remaining 96 bits (``hi`` low 32 bits +
+all of ``lo``) belong to the user/allocator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import InvalidArgumentError
+
+__all__ = ["ObjectId"]
+
+_USER_HI_MASK = (1 << 32) - 1
+_U64 = (1 << 64) - 1
+
+
+@dataclass(frozen=True, order=True)
+class ObjectId:
+    """An immutable, hashable 128-bit OID."""
+
+    hi: int
+    lo: int
+
+    def __post_init__(self) -> None:
+        if not (0 <= self.hi <= _U64 and 0 <= self.lo <= _U64):
+            raise InvalidArgumentError(f"OID parts must fit in 64 bits: {self}")
+
+    @classmethod
+    def from_user(cls, user96: int, class_id: int = 0) -> "ObjectId":
+        """Build an OID from a 96-bit user value plus a DAOS class id."""
+        if not 0 <= user96 < (1 << 96):
+            raise InvalidArgumentError(f"user OID must fit in 96 bits: {user96}")
+        if not 0 <= class_id < (1 << 32):
+            raise InvalidArgumentError(f"class id must fit in 32 bits: {class_id}")
+        hi = ((class_id & 0xFFFFFFFF) << 32) | ((user96 >> 64) & _USER_HI_MASK)
+        lo = user96 & _U64
+        return cls(hi=hi, lo=lo)
+
+    @property
+    def class_id(self) -> int:
+        """The DAOS-managed 32 bits (object class encoding)."""
+        return (self.hi >> 32) & 0xFFFFFFFF
+
+    @property
+    def user_bits(self) -> int:
+        """The 96 user-managed bits."""
+        return ((self.hi & _USER_HI_MASK) << 64) | self.lo
+
+    def as_int(self) -> int:
+        return (self.hi << 64) | self.lo
+
+    def __str__(self) -> str:
+        return f"{self.hi:016x}.{self.lo:016x}"

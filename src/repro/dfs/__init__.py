@@ -1,0 +1,27 @@
+"""libdfs: POSIX directories, files, and symlinks on top of libdaos.
+
+Paper Section I: "DAOS also provides the libdfs library which implements
+POSIX directories, files and symbolic links on top of the libdaos APIs
+... libdfs is not fully POSIX-compliant but supports the majority of
+existing POSIX-based applications."
+
+Mapping (same as the real DFS):
+
+- a directory is a DAOS Key-Value object: entry name -> packed
+  :class:`~repro.dfs.entry.DirEntry`;
+- a regular file is a DAOS Array holding the file bytes, plus its entry
+  in the parent directory;
+- a symlink is an entry whose payload carries the target path;
+- the filesystem root is a KV created at mount ("superblock").
+
+Every operation is a timed simulation coroutine going through a
+:class:`~repro.daos.client.DaosClient`, so path resolution costs one KV
+get per component and file I/O costs Array transfers — which is exactly
+why DFUSE's per-op kernel round trips (modelled in :mod:`repro.dfuse`)
+dominate at small I/O sizes but not at 1 MiB.
+"""
+
+from repro.dfs.dfs import Dfs, DfsFile
+from repro.dfs.entry import DirEntry
+
+__all__ = ["Dfs", "DfsFile", "DirEntry"]

@@ -1,0 +1,63 @@
+"""Directory-entry codec: fixed binary layout like a real on-media format."""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.daos.oid import ObjectId
+from repro.errors import IntegrityError
+
+__all__ = ["DirEntry", "KIND_DIR", "KIND_FILE", "KIND_SYMLINK"]
+
+KIND_DIR = 1
+KIND_FILE = 2
+KIND_SYMLINK = 3
+
+_HEADER = struct.Struct("<BQQIQ")  # kind, oid.hi, oid.lo, mode, chunk_size
+_MAGIC = b"DFE1"
+
+
+@dataclass(frozen=True)
+class DirEntry:
+    """One directory entry, serialisable to bytes for KV storage."""
+
+    kind: int
+    oid: ObjectId
+    mode: int = 0o644
+    chunk_size: int = 0
+    symlink_target: str = ""
+
+    @property
+    def is_dir(self) -> bool:
+        return self.kind == KIND_DIR
+
+    @property
+    def is_file(self) -> bool:
+        return self.kind == KIND_FILE
+
+    @property
+    def is_symlink(self) -> bool:
+        return self.kind == KIND_SYMLINK
+
+    def pack(self) -> bytes:
+        head = _HEADER.pack(self.kind, self.oid.hi, self.oid.lo, self.mode, self.chunk_size)
+        target = self.symlink_target.encode()
+        return _MAGIC + head + struct.pack("<H", len(target)) + target
+
+    @classmethod
+    def unpack(cls, blob: bytes) -> "DirEntry":
+        if blob[:4] != _MAGIC:
+            raise IntegrityError("directory entry blob has bad magic")
+        head = blob[4 : 4 + _HEADER.size]
+        kind, hi, lo, mode, chunk_size = _HEADER.unpack(head)
+        off = 4 + _HEADER.size
+        (tlen,) = struct.unpack_from("<H", blob, off)
+        target = blob[off + 2 : off + 2 + tlen].decode()
+        return cls(
+            kind=kind,
+            oid=ObjectId(hi, lo),
+            mode=mode,
+            chunk_size=chunk_size,
+            symlink_target=target,
+        )

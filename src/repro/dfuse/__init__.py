@@ -1,0 +1,24 @@
+"""DFUSE: the DAOS FUSE daemon, and the I/O interception library.
+
+Paper Section I: DFUSE "allows users to mount and expose a DAOS system
+through the standard POSIX infrastructure", with mount options for "the
+number of FUSE and event queue threads, or to configure caching of file
+system data and metadata".  It "can show limited performance under
+intensive small I/O workloads due to many round-trips required between
+kernel and user space.  For these cases, an I/O interception library
+(IL) ... can be used to forward operations directly to libdfs".
+
+The model prices exactly those two effects:
+
+- every syscall routed through FUSE pays a kernel<->user round-trip
+  latency *and* one request slot on the mount's daemon thread pool (a
+  per-client-node flow-network link whose capacity scales with the FUSE
+  and event-queue thread counts);
+- the interception library (:class:`InterceptedMount`) bypasses both for
+  ``read``/``write`` — data goes straight to libdfs — while metadata
+  operations still traverse FUSE, matching the real IL.
+"""
+
+from repro.dfuse.mount import DfuseMount, DfuseParams, InterceptedMount
+
+__all__ = ["DfuseMount", "InterceptedMount", "DfuseParams"]

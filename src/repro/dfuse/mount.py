@@ -1,0 +1,228 @@
+"""DFUSE mount model and the interception library."""
+
+from __future__ import annotations
+
+import itertools
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Generator, Optional, Tuple
+
+from repro.dfs.dfs import Dfs, DfsFile
+from repro.errors import InvalidArgumentError
+from repro.hardware.cluster import ClientNode
+from repro.sim.flownet import Link
+
+__all__ = ["DfuseParams", "DfuseMount", "InterceptedMount"]
+
+_mount_counter = itertools.count()
+
+
+@dataclass(frozen=True)
+class DfuseParams:
+    """DFUSE mount options (paper: 24 FUSE threads, 12 event-queue
+    threads, caching disabled for all benchmark runs)."""
+
+    #: per-syscall kernel<->user-space round trip (enter + exit)
+    kernel_crossing: float = 70e-6
+    fuse_threads: int = 24
+    eq_threads: int = 12
+    #: request throughput contributed by each FUSE / EQ thread
+    per_fuse_thread_ops: float = 250.0
+    per_eq_thread_ops: float = 600.0
+    #: client-side caching of file attributes (paper disables it)
+    caching: bool = False
+    #: client-side caching of file *data* (kernel page cache over FUSE;
+    #: also disabled in every paper run)
+    data_caching: bool = False
+    #: page-cache capacity per mount when data_caching is on
+    data_cache_bytes: int = 1 << 30
+    #: interception-library per-call hook cost
+    il_overhead: float = 5e-6
+
+    @property
+    def daemon_capacity(self) -> float:
+        """Requests/s the daemon sustains: FUSE threads take requests off
+        the kernel queue, EQ threads drive DAOS completions; the smaller
+        pool is the bottleneck."""
+        return min(
+            self.fuse_threads * self.per_fuse_thread_ops,
+            self.eq_threads * self.per_eq_thread_ops,
+        )
+
+
+class DfuseMount:
+    """One DFUSE daemon on one client node, exposing a mounted DFS.
+
+    All methods are timed simulation coroutines.  Multiple rank processes
+    on the node share the daemon (and therefore its thread-pool link),
+    exactly as the paper's benchmark processes share the node's mount.
+    """
+
+    def __init__(
+        self,
+        dfs: Dfs,
+        node: ClientNode,
+        params: Optional[DfuseParams] = None,
+    ):
+        self.dfs = dfs
+        self.node = node
+        self.params = params or DfuseParams()
+        self.sim = dfs.client.sim
+        net = dfs.client.net
+        self.fuse_link: Link = net.add_link(
+            f"dfuse.{node.name}.{next(_mount_counter)}", self.params.daemon_capacity
+        )
+        #: attribute cache: path -> (kind, size, mode); active when caching
+        self._attr_cache: Dict[str, Tuple[int, int, int]] = {}
+        #: page cache: (file path, page index) in LRU order; pages are
+        #: op-sized regions, active when data_caching
+        self._page_cache: "OrderedDict[Tuple[str, int], int]" = OrderedDict()
+        self._page_cache_bytes = 0
+        self.data_cache_hits = 0
+        self.data_cache_misses = 0
+
+    # -- page cache ---------------------------------------------------------------
+    _PAGE = 128 * 1024  # cache granularity
+
+    def _pages(self, path: str, offset: int, nbytes: int):
+        first = offset // self._PAGE
+        last = (offset + max(nbytes, 1) - 1) // self._PAGE
+        return [(path, p) for p in range(first, last + 1)]
+
+    def _cache_lookup(self, handle, offset: int, nbytes: int) -> bool:
+        """True if the whole range is resident (and refresh its LRU
+        position); counts hits/misses."""
+        if not self.params.data_caching:
+            return False
+        keys = self._pages(handle.path, offset, nbytes)
+        if all(k in self._page_cache for k in keys):
+            for k in keys:
+                self._page_cache.move_to_end(k)
+            self.data_cache_hits += 1
+            return True
+        self.data_cache_misses += 1
+        return False
+
+    def _cache_insert(self, handle, offset: int, nbytes: int) -> None:
+        if not self.params.data_caching:
+            return
+        for key in self._pages(handle.path, offset, nbytes):
+            if key not in self._page_cache:
+                self._page_cache[key] = self._PAGE
+                self._page_cache_bytes += self._PAGE
+            self._page_cache.move_to_end(key)
+        while self._page_cache_bytes > self.params.data_cache_bytes:
+            _, size = self._page_cache.popitem(last=False)
+            self._page_cache_bytes -= size
+
+    def _cache_drop_file(self, path: str) -> None:
+        for key in [k for k in self._page_cache if k[0] == path]:
+            self._page_cache_bytes -= self._page_cache.pop(key)
+
+    # -- plumbing ---------------------------------------------------------------
+    def _fuse_hop(self, requests: float = 1.0) -> Generator:
+        """One syscall through the kernel and the daemon thread pool."""
+        yield self.sim.timeout(self.params.kernel_crossing)
+        net = self.dfs.client.net
+        flow = net.transfer(requests, [(self.fuse_link, 1.0)], name="fuse-req")
+        yield flow.done
+
+    def mount(self) -> Generator:
+        yield from self.dfs.mount()
+        return self
+
+    def invalidate_caches(self) -> None:
+        self._attr_cache.clear()
+        self._page_cache.clear()
+        self._page_cache_bytes = 0
+
+    # -- POSIX-style operations ---------------------------------------------------
+    def creat(self, path: str, mode: int = 0o644) -> Generator:
+        yield from self._fuse_hop()
+        handle = yield from self.dfs.create(path, mode)
+        return handle
+
+    def open(self, path: str) -> Generator:
+        yield from self._fuse_hop()
+        handle = yield from self.dfs.open(path)
+        return handle
+
+    def close(self, handle: DfsFile) -> Generator:
+        yield from self._fuse_hop()
+        yield from self.dfs.release(handle)
+
+    def write(self, handle: DfsFile, offset: int, data=None, nbytes=None) -> Generator:
+        yield from self._fuse_hop()
+        yield from self.dfs.write(handle, offset, data=data, nbytes=nbytes)
+        # write-through: freshly written pages are resident afterwards
+        self._cache_insert(handle, offset, nbytes if nbytes is not None else len(data))
+
+    def read(self, handle: DfsFile, offset: int, nbytes: int) -> Generator:
+        if self._cache_lookup(handle, offset, nbytes):
+            # page-cache hit: the kernel serves it locally — no FUSE hop,
+            # no network, no simulated time
+            data, _ = handle.array.read(offset, nbytes)
+            return data
+        yield from self._fuse_hop()
+        data = yield from self.dfs.read(handle, offset, nbytes)
+        self._cache_insert(handle, offset, nbytes)
+        return data
+
+    def stat(self, path: str) -> Generator:
+        if self.params.caching and path in self._attr_cache:
+            return self._attr_cache[path]
+        yield from self._fuse_hop()
+        result = yield from self.dfs.stat(path)
+        if self.params.caching:
+            self._attr_cache[path] = result
+        return result
+
+    def mkdir(self, path: str) -> Generator:
+        yield from self._fuse_hop()
+        result = yield from self.dfs.mkdir(path)
+        return result
+
+    def unlink(self, path: str) -> Generator:
+        yield from self._fuse_hop()
+        yield from self.dfs.unlink(path)
+        self._attr_cache.pop(path, None)
+        self._cache_drop_file(path)
+
+    def readdir(self, path: str) -> Generator:
+        yield from self._fuse_hop()
+        names = yield from self.dfs.readdir(path)
+        return names
+
+    def symlink(self, path: str, target: str) -> Generator:
+        yield from self._fuse_hop()
+        yield from self.dfs.symlink(path, target)
+
+
+class InterceptedMount:
+    """A DFUSE mount with the I/O interception library preloaded.
+
+    ``read``/``write`` skip the kernel and daemon entirely and call
+    libdfs directly (a tiny hook overhead); everything else falls through
+    to the underlying mount.
+    """
+
+    def __init__(self, mount: DfuseMount):
+        if not isinstance(mount, DfuseMount):
+            raise InvalidArgumentError("InterceptedMount wraps a DfuseMount")
+        self._mount = mount
+        self.dfs = mount.dfs
+        self.sim = mount.sim
+        self.params = mount.params
+
+    def write(self, handle: DfsFile, offset: int, data=None, nbytes=None) -> Generator:
+        yield self.sim.timeout(self.params.il_overhead)
+        yield from self.dfs.write(handle, offset, data=data, nbytes=nbytes)
+
+    def read(self, handle: DfsFile, offset: int, nbytes: int) -> Generator:
+        yield self.sim.timeout(self.params.il_overhead)
+        data = yield from self.dfs.read(handle, offset, nbytes)
+        return data
+
+    # metadata operations still traverse FUSE
+    def __getattr__(self, name):
+        return getattr(self._mount, name)

@@ -1,0 +1,40 @@
+"""FDB: ECMWF's domain-specific object store for weather fields.
+
+Paper Section II-A: "FDB implements transactional and efficient weather
+field storage and indexing on a number of storage systems, including
+POSIX file systems, DAOS, and Ceph.  FDB exposes a scientifically
+meaningful API for applications to archive and retrieve weather fields
+without requiring knowledge of the underlying storage system."
+
+This package provides that facade (:class:`~repro.fdb.fdb.FDB`) over
+three timed backends that reproduce the access patterns fdb-hammer
+exercises:
+
+- :mod:`repro.fdb.daos_backend` — one S1 Array per field plus ~10
+  Key-Value index operations per field (sizes recorded in the index, so
+  reads need no per-field size query — the optimisation the paper credits
+  for fdb-hammer's superior read scaling over Field I/O);
+- :mod:`repro.fdb.posix_backend` — a data file + index file per writer
+  process, with client-side buffering into large blocks on write and
+  open-read-per-field on read (the MDS-heavy pattern that caps Lustre
+  reads in Fig. 7);
+- :mod:`repro.fdb.rados_backend` — one Ceph object per field plus omap
+  index updates (the many-small-objects pattern of Fig. 8).
+"""
+
+from repro.fdb.daos_backend import FdbDaosBackend
+from repro.fdb.fdb import FDB, FdbBackend
+from repro.fdb.posix_backend import FdbPosixBackend
+from repro.fdb.rados_backend import FdbRadosBackend
+from repro.fdb.schema import FdbKey, key_sequence, make_key
+
+__all__ = [
+    "FDB",
+    "FdbBackend",
+    "FdbKey",
+    "make_key",
+    "key_sequence",
+    "FdbDaosBackend",
+    "FdbPosixBackend",
+    "FdbRadosBackend",
+]

@@ -1,0 +1,86 @@
+"""The FDB facade and its backend interface."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Generator, Optional
+
+from repro.errors import InvalidArgumentError
+from repro.fdb.schema import FdbKey
+
+__all__ = ["FdbBackend", "FDB"]
+
+
+class FdbBackend(ABC):
+    """Storage backend contract; all methods are timed sim coroutines."""
+
+    @abstractmethod
+    def open_session(self, writer: bool) -> Generator:
+        """Prepare the backend (open/create catalogue structures)."""
+
+    @abstractmethod
+    def archive(self, key: FdbKey, data: Optional[bytes], nbytes: Optional[int]) -> Generator:
+        """Persist one field and index it."""
+
+    @abstractmethod
+    def flush(self) -> Generator:
+        """Make everything archived so far durable and visible."""
+
+    @abstractmethod
+    def retrieve(self, key: FdbKey) -> Generator:
+        """Locate and fetch one field; returns its bytes."""
+
+    @abstractmethod
+    def close_session(self) -> Generator:
+        """Release backend resources."""
+
+
+class FDB:
+    """The scientist-facing API: archive/retrieve by meteorological key.
+
+    The storage system is fully abstracted away — exactly the property
+    the paper highlights — so fdb-hammer runs unchanged against the
+    DAOS, POSIX, and Ceph backends.
+    """
+
+    def __init__(self, backend: FdbBackend):
+        self.backend = backend
+        self._session_open = False
+        self._writer = False
+        self.archived = 0
+        self.retrieved = 0
+
+    def open(self, writer: bool = True) -> Generator:
+        yield from self.backend.open_session(writer)
+        self._session_open = True
+        self._writer = writer
+        return self
+
+    def _require(self, writer: Optional[bool] = None) -> None:
+        if not self._session_open:
+            raise InvalidArgumentError("FDB session not open")
+        if writer is True and not self._writer:
+            raise InvalidArgumentError("FDB session opened read-only")
+
+    def archive(self, key: FdbKey, data: Optional[bytes] = None, nbytes: Optional[int] = None) -> Generator:
+        self._require(writer=True)
+        if data is None and nbytes is None:
+            raise InvalidArgumentError("archive needs data or nbytes")
+        yield from self.backend.archive(key, data, nbytes)
+        self.archived += 1
+
+    def flush(self) -> Generator:
+        self._require(writer=True)
+        yield from self.backend.flush()
+
+    def retrieve(self, key: FdbKey) -> Generator:
+        self._require()
+        data = yield from self.backend.retrieve(key)
+        self.retrieved += 1
+        return data
+
+    def close(self) -> Generator:
+        if self._session_open and self._writer:
+            yield from self.backend.flush()
+        yield from self.backend.close_session()
+        self._session_open = False

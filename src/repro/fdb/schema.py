@@ -1,0 +1,125 @@
+"""The MARS-style key schema identifying weather fields.
+
+An FDB key is an ordered set of metadata attributes (class, stream,
+date, parameter, level, ...) that uniquely identifies one field — one
+2-D slice of one variable of one forecast step.  fdb-hammer and Field
+I/O both sweep sequences of such keys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, Tuple
+
+from repro.errors import InvalidArgumentError
+
+__all__ = ["SCHEMA_KEYS", "REQUIRED_KEYS", "FdbKey", "make_key", "key_sequence"]
+
+#: recognised attributes, in canonical order (a pragmatic MARS subset)
+SCHEMA_KEYS: Tuple[str, ...] = (
+    "class",
+    "stream",
+    "expver",
+    "date",
+    "time",
+    "domain",
+    "type",
+    "levtype",
+    "step",
+    "param",
+    "levelist",
+)
+
+#: attributes every key must carry to be archivable
+REQUIRED_KEYS: Tuple[str, ...] = ("class", "stream", "date", "time", "step", "param")
+
+
+@dataclass(frozen=True)
+class FdbKey:
+    """An immutable, hashable field identifier."""
+
+    items: Tuple[Tuple[str, str], ...]
+
+    def __post_init__(self) -> None:
+        names = [k for k, _ in self.items]
+        if len(set(names)) != len(names):
+            raise InvalidArgumentError(f"duplicate attributes in key: {names}")
+        unknown = set(names) - set(SCHEMA_KEYS)
+        if unknown:
+            raise InvalidArgumentError(f"unknown key attributes: {sorted(unknown)}")
+        missing = set(REQUIRED_KEYS) - set(names)
+        if missing:
+            raise InvalidArgumentError(f"key is missing {sorted(missing)}")
+
+    @property
+    def as_dict(self) -> Dict[str, str]:
+        return dict(self.items)
+
+    def canonical(self) -> str:
+        """Canonical string form, in schema order (the index key)."""
+        d = self.as_dict
+        return ",".join(f"{k}={d[k]}" for k in SCHEMA_KEYS if k in d)
+
+    def index_group(self) -> str:
+        """The coarse prefix FDB groups index entries by (one forecast)."""
+        d = self.as_dict
+        parts = [f"{k}={d[k]}" for k in ("class", "stream", "expver", "date", "time") if k in d]
+        return ",".join(parts)
+
+    def __str__(self) -> str:
+        return self.canonical()
+
+
+def make_key(**attrs: "str | int") -> FdbKey:
+    """Build a key from keyword attributes, normalising values to str.
+
+    >>> str(make_key(class_="od", stream="oper", date=20240101, time=0,
+    ...              step=0, param=130))
+    'class=od,stream=oper,date=20240101,time=0,step=0,param=130'
+    """
+    if "class_" in attrs:  # `class` is a Python keyword
+        attrs["class"] = attrs.pop("class_")
+    d = {k: str(v) for k, v in attrs.items()}
+    unknown = set(d) - set(SCHEMA_KEYS)
+    if unknown:
+        raise InvalidArgumentError(f"unknown key attributes: {sorted(unknown)}")
+    items = tuple((k, d[k]) for k in SCHEMA_KEYS if k in d)
+    return FdbKey(items)
+
+
+def key_sequence(
+    n_fields: int,
+    member: int = 0,
+    date: int = 20240101,
+    params: Tuple[int, ...] = (129, 130, 131, 132, 133),
+    levels: Tuple[int, ...] = (1000, 850, 700, 500, 300, 100),
+) -> Iterator[FdbKey]:
+    """The key sweep one fdb-hammer / Field I/O process archives.
+
+    Fields iterate fastest over parameter, then level, then forecast
+    step, mirroring how an NWP model emits output.  ``member`` (the
+    ensemble member / process number) keeps per-process sequences
+    disjoint.
+    """
+    count = 0
+    step = 0
+    while count < n_fields:
+        for level in levels:
+            for param in params:
+                if count >= n_fields:
+                    return
+                yield make_key(
+                    class_="od",
+                    stream="enfo",
+                    expver="0001",
+                    date=date,
+                    time="0000",
+                    domain="g",
+                    type="pf",
+                    levtype="pl",
+                    step=step,
+                    param=param,
+                    levelist=f"{level}.{member}",
+                )
+                count += 1
+        step += 6

@@ -1,0 +1,35 @@
+"""Hardware models: GCP instances, NVMe devices, NICs, and the cluster.
+
+The paper's testbed (Section II-B) reduces, for bandwidth purposes, to a
+small set of measured capacities (Section III-A):
+
+- server VM ``n2-custom-36-153600``: 16 local NVMe SSDs with **3.86 GiB/s
+  aggregate write** and **7 GiB/s aggregate read**, behind a **50 Gbps**
+  (6.25 GiB/s) NIC;
+- client VM ``n2-highcpu-32``: 50 Gbps NIC, 32 cores;
+- full-bisection fabric between them (iperf confirmed line rate).
+
+:class:`~repro.hardware.cluster.Cluster` turns a set of such nodes into
+flow-network links that the storage systems (DAOS, Lustre, Ceph) then
+route traffic over.
+"""
+
+from repro.hardware.cluster import ClientNode, Cluster, ServerNode
+from repro.hardware.specs import (
+    CLIENT_N2_HIGHCPU_32,
+    SERVER_N2_CUSTOM_36,
+    ClientSpec,
+    ServerSpec,
+)
+from repro.hardware.ssd import SsdDevice
+
+__all__ = [
+    "Cluster",
+    "ServerNode",
+    "ClientNode",
+    "SsdDevice",
+    "ServerSpec",
+    "ClientSpec",
+    "SERVER_N2_CUSTOM_36",
+    "CLIENT_N2_HIGHCPU_32",
+]

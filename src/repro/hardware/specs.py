@@ -1,0 +1,75 @@
+"""Instance-type catalogue.
+
+The capacities below are the paper's *measured* values (Section III-A),
+not vendor datasheet numbers: the authors mounted each of the 16 NVMe
+drives as ext4 and ran parallel ``dd`` (3.86 GiB/s aggregate write,
+7 GiB/s aggregate read), and confirmed 50 Gbps NIC line rate with iperf.
+Using the measured values makes the simulated rooflines the same ones the
+paper normalises against (61.76 GiB/s write, 100-112 GiB/s read for 16
+servers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.units import GiB, Gbps, TiB
+
+__all__ = ["ServerSpec", "ClientSpec", "SERVER_N2_CUSTOM_36", "CLIENT_N2_HIGHCPU_32"]
+
+
+@dataclass(frozen=True)
+class ServerSpec:
+    """A storage-server VM type."""
+
+    name: str
+    cores: int
+    dram_bytes: int
+    nvme_devices: int
+    nvme_capacity_bytes: int  # total across all devices
+    nvme_write_bw: float  # aggregate bytes/s across all devices
+    nvme_read_bw: float
+    nic_bw: float  # bytes/s, each direction
+
+    @property
+    def device_capacity(self) -> int:
+        return self.nvme_capacity_bytes // self.nvme_devices
+
+    @property
+    def device_write_bw(self) -> float:
+        return self.nvme_write_bw / self.nvme_devices
+
+    @property
+    def device_read_bw(self) -> float:
+        return self.nvme_read_bw / self.nvme_devices
+
+
+@dataclass(frozen=True)
+class ClientSpec:
+    """A benchmark-client VM type."""
+
+    name: str
+    cores: int
+    dram_bytes: int
+    nic_bw: float
+
+
+#: The paper's DAOS/Lustre/Ceph server VM.
+SERVER_N2_CUSTOM_36 = ServerSpec(
+    name="n2-custom-36-153600",
+    cores=36,
+    dram_bytes=150 * GiB,
+    nvme_devices=16,
+    nvme_capacity_bytes=6 * TiB,
+    nvme_write_bw=3.86 * GiB,
+    nvme_read_bw=7.0 * GiB,
+    nic_bw=50 * Gbps,
+)
+
+#: The paper's benchmark client VM.
+CLIENT_N2_HIGHCPU_32 = ClientSpec(
+    name="n2-highcpu-32",
+    cores=32,
+    dram_bytes=32 * GiB,
+    nic_bw=50 * Gbps,
+)

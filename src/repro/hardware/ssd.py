@@ -1,0 +1,70 @@
+"""NVMe device model: capacity accounting plus read/write channel links."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import NoSpaceError
+from repro.sim.flownet import FlowNetwork, Link
+
+__all__ = ["SsdDevice"]
+
+
+class SsdDevice:
+    """One local NVMe SSD.
+
+    A device owns two flow-network links (its read and write channels) and
+    tracks allocated bytes so stores can raise ``NoSpaceError`` like a real
+    device.  Devices can be failed and restored for fault-injection tests;
+    while failed, :attr:`alive` is False and stores must not route I/O
+    through it.
+    """
+
+    def __init__(
+        self,
+        net: FlowNetwork,
+        name: str,
+        capacity_bytes: int,
+        write_bw: float,
+        read_bw: float,
+    ):
+        self.name = name
+        self.capacity_bytes = int(capacity_bytes)
+        self.used_bytes = 0
+        self.alive = True
+        self.write_link: Link = net.add_link(f"{name}.w", write_bw)
+        self.read_link: Link = net.add_link(f"{name}.r", read_bw)
+
+    @property
+    def free_bytes(self) -> int:
+        return self.capacity_bytes - self.used_bytes
+
+    def allocate(self, nbytes: int) -> None:
+        """Reserve space; raises :class:`NoSpaceError` when full."""
+        if nbytes < 0:
+            raise ValueError(f"cannot allocate negative bytes: {nbytes}")
+        if self.used_bytes + nbytes > self.capacity_bytes:
+            raise NoSpaceError(
+                f"device {self.name}: need {nbytes} B, only {self.free_bytes} B free"
+            )
+        self.used_bytes += nbytes
+
+    def release(self, nbytes: int) -> None:
+        """Return space after a delete/punch."""
+        if nbytes < 0:
+            raise ValueError(f"cannot release negative bytes: {nbytes}")
+        self.used_bytes = max(0, self.used_bytes - nbytes)
+
+    def fail(self) -> None:
+        """Mark the device dead (data considered lost)."""
+        self.alive = False
+
+    def restore(self, wipe: bool = True) -> None:
+        """Bring the device back; a replaced drive comes back empty."""
+        self.alive = True
+        if wipe:
+            self.used_bytes = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "up" if self.alive else "FAILED"
+        return f"<SsdDevice {self.name} {state} used={self.used_bytes}>"

@@ -1,0 +1,37 @@
+"""Experiment harness: the paper's figures as runnable experiments.
+
+- :mod:`repro.harness.experiment` — one *point* (a storage deployment +
+  a benchmark configuration) run with paper-style repetitions (3 runs,
+  mean +/- std, different seeds);
+- :mod:`repro.harness.figures` — one builder per paper figure/table
+  (F1-F9, the hardware table, and the text-only results), each returning
+  a :class:`~repro.harness.figures.FigureResult` with measured series,
+  the paper's reference values, and automated shape checks drawn from
+  the paper's artifact-description appendix;
+- :mod:`repro.harness.report` — ASCII/markdown rendering used by the
+  benchmark suite and EXPERIMENTS.md.
+
+Scale: ``scale="quick"`` shrinks grids and repetitions for CI-speed runs;
+``scale="full"`` uses the paper-like grids (see DESIGN.md §6 — op counts
+are always scaled down from the paper's 10k since steady-state bandwidth
+is ratio-determined).
+"""
+
+from repro.harness.experiment import PointResult, PointSpec, run_point
+from repro.harness.figures import FIGURES, FigureResult, Series, build_figure
+from repro.harness.optimize import OptimisationResult, find_optimal_clients
+from repro.harness.report import render_figure, render_markdown
+
+__all__ = [
+    "PointSpec",
+    "PointResult",
+    "run_point",
+    "FIGURES",
+    "FigureResult",
+    "Series",
+    "build_figure",
+    "render_figure",
+    "render_markdown",
+    "find_optimal_clients",
+    "OptimisationResult",
+]

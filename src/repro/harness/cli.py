@@ -1,0 +1,63 @@
+"""Command-line entry point: run figures, print reports.
+
+Usage::
+
+    python -m repro.harness.cli F1            # one figure, quick scale
+    python -m repro.harness.cli F5 --scale full
+    python -m repro.harness.cli all --markdown results.md
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.harness.figures import FIGURES, build_figure
+from repro.harness.report import render_figure, render_markdown
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.harness.cli",
+        description="Regenerate figures of 'Exploring DAOS Interfaces and Performance'",
+    )
+    parser.add_argument(
+        "figure",
+        help=f"figure id ({', '.join(sorted(FIGURES))}) or 'all'",
+    )
+    parser.add_argument(
+        "--scale", choices=("quick", "full"), default="quick",
+        help="grid/repetition scale (default: quick)",
+    )
+    parser.add_argument(
+        "--markdown", metavar="PATH",
+        help="also append markdown blocks to this file",
+    )
+    args = parser.parse_args(argv)
+
+    fig_ids = sorted(FIGURES) if args.figure == "all" else [args.figure]
+    if any(f not in FIGURES for f in fig_ids):
+        parser.error(f"unknown figure {args.figure!r}; known: {sorted(FIGURES)}")
+
+    md_blocks = []
+    failures = 0
+    for fig_id in fig_ids:
+        t0 = time.time()
+        result = build_figure(fig_id, scale=args.scale)
+        print(render_figure(result))
+        print(f"(built in {time.time() - t0:.1f}s at scale={args.scale})\n")
+        md_blocks.append(render_markdown(result))
+        failures += sum(1 for c in result.checks if not c.passed)
+    if args.markdown:
+        with open(args.markdown, "a") as fh:
+            fh.write("\n\n".join(md_blocks) + "\n")
+        print(f"markdown appended to {args.markdown}")
+    if failures:
+        print(f"{failures} shape check(s) FAILED", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

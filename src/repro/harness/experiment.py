@@ -1,0 +1,134 @@
+"""One experiment point: deployment + benchmark + repetitions.
+
+The paper's methodology (Section II): "Each and every test was repeated
+3 times, and the average and standard deviation of the measured
+bandwidths are shown in the figures."  :func:`run_point` builds a fresh
+cluster per repetition (seeded differently, so placement hashes and
+overhead jitter vary), runs the workload, and aggregates with
+:func:`repro.sim.stats.mean_std`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional, Tuple
+
+from repro.errors import ConfigError
+from repro.hardware.cluster import Cluster
+from repro.sim.stats import mean_std
+from repro.units import MiB
+from repro.workloads.common import CephEnv, DaosEnv, LustreEnv, WorkloadConfig
+from repro.workloads.fdb_hammer import run_fdb_hammer
+from repro.workloads.fieldio import run_fieldio
+from repro.workloads.ior import run_ior
+
+__all__ = ["PointSpec", "PointResult", "run_point"]
+
+_STORES = ("daos", "lustre", "ceph")
+_WORKLOADS = ("ior", "fieldio", "fdb")
+
+
+@dataclass(frozen=True)
+class PointSpec:
+    """Full description of one data point in a figure."""
+
+    workload: str  # "ior" | "fieldio" | "fdb"
+    store: str  # "daos" | "lustre" | "ceph"
+    api: str = ""  # IOR api or fdb backend name (empty for fieldio)
+    n_servers: int = 16
+    n_client_nodes: int = 16
+    ppn: int = 16
+    ops_per_process: int = 64
+    op_size: int = MiB
+    object_class: str = "SX"
+    kv_object_class: str = "S1"
+    batches: int = 2
+    mode: str = "aggregate"
+    #: runner-specific kwargs (stripe_count, pg_num, ...), as sorted items
+    extra: Tuple[Tuple[str, object], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.store not in _STORES:
+            raise ConfigError(f"unknown store {self.store!r}")
+        if self.workload not in _WORKLOADS:
+            raise ConfigError(f"unknown workload {self.workload!r}")
+
+    def with_(self, **kwargs) -> "PointSpec":
+        return replace(self, **kwargs)
+
+    @property
+    def extra_kwargs(self) -> Dict[str, object]:
+        return dict(self.extra)
+
+    @property
+    def total_processes(self) -> int:
+        return self.n_client_nodes * self.ppn
+
+
+@dataclass
+class PointResult:
+    """Aggregated measurements of one point (bytes/s and ops/s)."""
+
+    spec: PointSpec
+    write_bw: Tuple[float, float]  # (mean, std)
+    read_bw: Tuple[float, float]
+    write_iops: Tuple[float, float]
+    read_iops: Tuple[float, float]
+    reps: int
+
+    def bw(self, phase: str) -> float:
+        return (self.write_bw if phase == "write" else self.read_bw)[0]
+
+    def iops(self, phase: str) -> float:
+        return (self.write_iops if phase == "write" else self.read_iops)[0]
+
+
+def _build_env(spec: PointSpec, seed: int):
+    cluster = Cluster(
+        n_servers=spec.n_servers, n_clients=spec.n_client_nodes, seed=seed
+    )
+    if spec.store == "daos":
+        return DaosEnv(cluster)
+    if spec.store == "lustre":
+        return LustreEnv(cluster)
+    return CephEnv(cluster)
+
+
+def _run_once(spec: PointSpec, seed: int):
+    env = _build_env(spec, seed)
+    cfg = WorkloadConfig(
+        n_client_nodes=spec.n_client_nodes,
+        ppn=spec.ppn,
+        ops_per_process=spec.ops_per_process,
+        op_size=spec.op_size,
+        mode=spec.mode,
+        batches=spec.batches,
+        object_class=spec.object_class,
+        kv_object_class=spec.kv_object_class,
+    )
+    if spec.workload == "ior":
+        return run_ior(env, cfg, spec.api, **spec.extra_kwargs)
+    if spec.workload == "fieldio":
+        return run_fieldio(env, cfg)
+    return run_fdb_hammer(env, cfg, spec.api, **spec.extra_kwargs)
+
+
+def run_point(spec: PointSpec, reps: int = 3, base_seed: int = 0) -> PointResult:
+    """Run ``reps`` repetitions and aggregate (paper methodology)."""
+    if reps < 1:
+        raise ConfigError(f"need >= 1 repetition, got {reps}")
+    w_bw, r_bw, w_io, r_io = [], [], [], []
+    for rep in range(reps):
+        recorder = _run_once(spec, seed=base_seed * 1000 + rep)
+        w_bw.append(recorder.bandwidth("write"))
+        r_bw.append(recorder.bandwidth("read"))
+        w_io.append(recorder.iops("write"))
+        r_io.append(recorder.iops("read"))
+    return PointResult(
+        spec=spec,
+        write_bw=mean_std(w_bw),
+        read_bw=mean_std(r_bw),
+        write_iops=mean_std(w_io),
+        read_iops=mean_std(r_io),
+        reps=reps,
+    )

@@ -1,0 +1,75 @@
+"""Client-configuration optimisation (paper Section II methodology).
+
+"For the exploration of parameters in the benchmark runs, we tested
+every benchmark with different client node and process counts to
+determine the maximum achievable bandwidth ... We then ran all
+benchmarks using the optimal node and process counts against DAOS
+servers deployed on increasing numbers of instances."
+
+:func:`find_optimal_clients` is that first step as a reusable function:
+grid-search client nodes x processes-per-node, return the best
+configuration per phase plus the whole exploration table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import ConfigError
+from repro.harness.experiment import PointResult, PointSpec, run_point
+
+__all__ = ["OptimisationResult", "find_optimal_clients"]
+
+
+@dataclass
+class OptimisationResult:
+    """Outcome of one client-configuration grid search."""
+
+    #: best (n_client_nodes, ppn) and its result, per phase
+    best: Dict[str, Tuple[Tuple[int, int], PointResult]]
+    #: every grid cell: (n_client_nodes, ppn) -> PointResult
+    table: Dict[Tuple[int, int], PointResult] = field(default_factory=dict)
+
+    def best_spec(self, phase: str = "write") -> PointSpec:
+        (nodes, ppn), result = self.best[phase]
+        return result.spec
+
+    def best_bandwidth(self, phase: str = "write") -> float:
+        return self.best[phase][1].bw(phase)
+
+    def summary(self) -> str:
+        lines = []
+        for phase, ((nodes, ppn), result) in sorted(self.best.items()):
+            lines.append(
+                f"{phase}: best {result.bw(phase) / 2**30:.1f} GiB/s at "
+                f"{nodes} client nodes x {ppn} ppn"
+            )
+        return "\n".join(lines)
+
+
+def find_optimal_clients(
+    base: PointSpec,
+    node_grid: Sequence[int],
+    ppn_grid: Sequence[int],
+    reps: int = 1,
+    base_seed: int = 0,
+) -> OptimisationResult:
+    """Grid-search client nodes x ppn; returns the per-phase optima.
+
+    ``base`` fixes everything else (workload, store, server count...).
+    The search runs each cell once by default (``reps=1``) — the paper's
+    final numbers then re-run the chosen optimum with 3 repetitions.
+    """
+    if not node_grid or not ppn_grid:
+        raise ConfigError("node_grid and ppn_grid must be non-empty")
+    table: Dict[Tuple[int, int], PointResult] = {}
+    for nodes in node_grid:
+        for ppn in ppn_grid:
+            spec = base.with_(n_client_nodes=nodes, ppn=ppn)
+            table[(nodes, ppn)] = run_point(spec, reps=reps, base_seed=base_seed)
+    best: Dict[str, Tuple[Tuple[int, int], PointResult]] = {}
+    for phase in ("write", "read"):
+        cell = max(table, key=lambda key: table[key].bw(phase))
+        best[phase] = (cell, table[cell])
+    return OptimisationResult(best=best, table=table)

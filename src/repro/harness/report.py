@@ -1,0 +1,83 @@
+"""Rendering of figure results: ASCII for the terminal, markdown for
+EXPERIMENTS.md."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.harness.figures import FigureResult, Series
+
+__all__ = ["render_figure", "render_markdown"]
+
+
+def _fmt_series_row(series: Series) -> List[str]:
+    cells = [
+        f"{m:8.1f}±{s:<5.1f}" if s > 0 else f"{m:8.1f}      "
+        for m, s in zip(series.means, series.stds)
+    ]
+    return [series.label] + cells
+
+
+def render_figure(result: FigureResult) -> str:
+    """Human-readable block: series tables + check outcomes."""
+    lines: List[str] = []
+    lines.append("=" * 78)
+    lines.append(f"{result.fig_id}: {result.title}")
+    lines.append("=" * 78)
+    lines.append(f"paper expectation: {result.paper_expectation}")
+    for panel, series_list in result.panels.items():
+        if not series_list:
+            continue
+        lines.append("")
+        unit = series_list[0].unit
+        xs = series_list[0].xs
+        lines.append(f"[{panel}] ({unit}) vs {result.xlabel}")
+        header = f"{'series':<32}" + "".join(f"{x:>14.6g}" for x in xs)
+        lines.append(header)
+        lines.append("-" * len(header))
+        for series in series_list:
+            row = _fmt_series_row(series)
+            lines.append(f"{row[0]:<32}" + "".join(f"{c:>14}" for c in row[1:]))
+    if result.checks:
+        lines.append("")
+        lines.append("shape checks:")
+        for check in result.checks:
+            mark = "PASS" if check.passed else "FAIL"
+            detail = f"  [{check.detail}]" if check.detail else ""
+            lines.append(f"  [{mark}] {check.description}{detail}")
+    if result.notes:
+        lines.append(f"notes: {result.notes}")
+    return "\n".join(lines)
+
+
+def render_markdown(result: FigureResult) -> str:
+    """Markdown block suitable for EXPERIMENTS.md."""
+    lines: List[str] = []
+    lines.append(f"### {result.fig_id}: {result.title}")
+    lines.append("")
+    lines.append(f"*Paper expectation:* {result.paper_expectation}")
+    for panel, series_list in result.panels.items():
+        if not series_list:
+            continue
+        xs = series_list[0].xs
+        unit = series_list[0].unit
+        lines.append("")
+        lines.append(f"**{panel}** ({unit}, x = {result.xlabel})")
+        lines.append("")
+        lines.append("| series | " + " | ".join(f"{x:g}" for x in xs) + " |")
+        lines.append("|---" * (len(xs) + 1) + "|")
+        for series in series_list:
+            cells = [
+                f"{m:.1f} ± {s:.1f}" if s > 0 else f"{m:.1f}"
+                for m, s in zip(series.means, series.stds)
+            ]
+            lines.append(f"| {series.label} | " + " | ".join(cells) + " |")
+    if result.checks:
+        lines.append("")
+        lines.append("| shape check | outcome | measured |")
+        lines.append("|---|---|---|")
+        for check in result.checks:
+            mark = "✅ pass" if check.passed else "❌ fail"
+            lines.append(f"| {check.description} | {mark} | {check.detail} |")
+    lines.append("")
+    return "\n".join(lines)

@@ -1,0 +1,25 @@
+"""HDF5 model: the format's I/O behaviour on POSIX and the DAOS VOL.
+
+Paper Section II-A: IOR's HDF5 backend on POSIX stores "the process
+metadata, indexing information, and data" in one file per writer
+process; with the DAOS adaptor "a DAOS container is created per writer
+process, and the data from every write operation stored in a separate
+object in the container."  The two models here reproduce the costs the
+paper attributes to each path:
+
+- :class:`~repro.hdf5.posix.Hdf5PosixFile` — every dataset write/read is
+  accompanied by small synchronous metadata I/O (superblock, object
+  headers, B-tree nodes) through the same POSIX mount.  Those small ops
+  traverse the DFUSE daemon even when data is intercepted, which is why
+  HDF5-on-DFUSE tops out at roughly half of IOR (Fig. 3a/b, Fig. 5).
+- :class:`~repro.hdf5.daos_vol.Hdf5DaosVol` — container-per-process plus
+  object-per-write; every object create/open drags the fixed-capacity
+  pool service into the per-op path (the container-metadata scalability
+  issue of [8]), which is why HDF5-on-libdaos is fine on 4 servers
+  (Fig. 4) but stops scaling beyond that (Fig. 5).
+"""
+
+from repro.hdf5.daos_vol import Hdf5DaosVol, Hdf5VolFile
+from repro.hdf5.posix import Hdf5PosixFile, Hdf5PosixParams
+
+__all__ = ["Hdf5PosixFile", "Hdf5PosixParams", "Hdf5DaosVol", "Hdf5VolFile"]

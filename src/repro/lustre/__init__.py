@@ -1,0 +1,27 @@
+"""Lustre model: striped OSTs behind a single centralised MDS.
+
+Paper Section III-E deploys Lustre on hardware identical to the DAOS
+testbed: 16 OSTs per server node plus one extra node running a single
+MDS.  The model reproduces the two behaviours the paper measures:
+
+- large file-per-process I/O striped over OSTs reaches the same hardware
+  roofline as DAOS (IOR results);
+- metadata-heavy small I/O (fdb-hammer reads re-opening files per field)
+  saturates the *single* MDS, capping read bandwidth far below the
+  hardware roofline — "the increased metadata workload, which Lustre and
+  file systems in general are not optimised for".
+"""
+
+from repro.lustre.client import LustreClient
+from repro.lustre.fs import LustreFilesystem, LustreParams
+from repro.lustre.mds import Inode, MetadataServer
+from repro.lustre.ost import Ost
+
+__all__ = [
+    "LustreFilesystem",
+    "LustreParams",
+    "LustreClient",
+    "MetadataServer",
+    "Inode",
+    "Ost",
+]

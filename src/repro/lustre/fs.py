@@ -1,0 +1,85 @@
+"""Lustre filesystem deployment: OSS nodes with OSTs + the MDS."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.errors import ConfigError
+from repro.hardware.cluster import Cluster, ServerNode
+from repro.lustre.mds import MetadataServer
+from repro.lustre.ost import Ost
+from repro.sim.randomness import stable_hash64
+from repro.units import MiB
+
+__all__ = ["LustreParams", "LustreFilesystem"]
+
+
+@dataclass(frozen=True)
+class LustreParams:
+    """Calibration constants of the Lustre model.
+
+    ``mds_capacity`` is the single metadata server's request throughput.
+    fdb-hammer reads issue ~4 MDS requests per 1 MiB field (two opens, a
+    getattr, an index lookup), so ~160k req/s caps field reads near the
+    ~40 GiB/s the paper reports (Fig. 7) while leaving IOR — a handful of
+    metadata requests per process — unconstrained.
+    """
+
+    rpc_rtt: float = 60e-6
+    client_io_overhead: float = 30e-6
+    mds_capacity: float = 160_000.0
+    protocol_efficiency: float = 0.94
+    default_stripe_count: int = 1
+    default_stripe_size: int = MiB
+    #: client sequential read-ahead depth (Lustre llite readahead)
+    readahead_depth: int = 4
+
+
+class LustreFilesystem:
+    """A deployed Lustre: OSTs on every given server node, one MDS.
+
+    The paper's MDS lives on an extra dedicated node ("16+1"); since it
+    carries no data traffic, it is modelled as its request-capacity link
+    only.
+    """
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        params: Optional[LustreParams] = None,
+        server_nodes: Optional[List[ServerNode]] = None,
+        name: str = "lustre0",
+    ):
+        nodes = server_nodes if server_nodes is not None else cluster.servers
+        if not nodes:
+            raise ConfigError("Lustre needs at least one OSS node")
+        self.cluster = cluster
+        self.params = params or LustreParams()
+        self.name = name
+        self.osts: List[Ost] = []
+        for node in nodes:
+            for d, device in enumerate(node.devices):
+                ost = Ost(node, d, device)
+                ost.index = len(self.osts)
+                self.osts.append(ost)
+        self.mds = MetadataServer(
+            cluster.net, self.params.mds_capacity, name=f"{name}.mds"
+        )
+
+    @property
+    def n_osts(self) -> int:
+        return len(self.osts)
+
+    def choose_osts(self, path: str, stripe_count: int) -> List[int]:
+        """Pick ``stripe_count`` OSTs for a new file: a hashed starting
+        OST then round-robin, Lustre's default allocator behaviour."""
+        if stripe_count < 1 or stripe_count > self.n_osts:
+            raise ConfigError(
+                f"stripe_count {stripe_count} out of range 1..{self.n_osts}"
+            )
+        start = stable_hash64(self.name, path) % self.n_osts
+        return [(start + i) % self.n_osts for i in range(stripe_count)]
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<LustreFilesystem {self.name} osts={self.n_osts}>"

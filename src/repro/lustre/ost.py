@@ -1,0 +1,39 @@
+"""Object Storage Targets: one per NVMe device, storing stripe objects."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.hardware.cluster import ServerNode
+from repro.hardware.ssd import SsdDevice
+
+__all__ = ["Ost"]
+
+
+class Ost:
+    """One OST: stripe objects keyed by ``(inode_id, stripe_index)``,
+    each a dict of chunk_index -> bytes."""
+
+    def __init__(self, node: ServerNode, local_index: int, device: SsdDevice):
+        self.node = node
+        self.local_index = local_index
+        self.device = device
+        self.index: int = -1  # global, assigned by the filesystem
+        self.objects: Dict[tuple, Dict[int, bytes]] = {}
+
+    @property
+    def name(self) -> str:
+        return f"ost{self.index}@{self.node.name}"
+
+    def store(self, key: tuple) -> Dict[int, bytes]:
+        obj = self.objects.get(key)
+        if obj is None:
+            obj = {}
+            self.objects[key] = obj
+        return obj
+
+    def drop(self, key: tuple) -> None:
+        self.objects.pop(key, None)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Ost {self.name} objects={len(self.objects)}>"

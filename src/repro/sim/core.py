@@ -1,0 +1,400 @@
+"""Event loop, processes, and elementary waitables.
+
+The kernel is a classic calendar-queue discrete-event simulator:
+
+- :class:`Simulator` owns the clock and a binary-heap event calendar.
+- :class:`Process` wraps a Python generator.  The generator ``yield``\\ s
+  *waitables* — :class:`Timeout`, :class:`Signal`, another
+  :class:`Process`, or :class:`AllOf`/:class:`AnyOf` combinators — and is
+  resumed when the waitable completes, receiving the waitable's value as
+  the result of the ``yield`` expression.
+- :class:`Signal` is the one-shot event every higher-level primitive
+  (semaphores, barriers, flow completions) is built from.
+
+Design notes
+------------
+Event ordering is (time, sequence) so simultaneous events run in
+scheduling order, which makes runs fully deterministic for a given seed.
+Unhandled exceptions inside a process are re-raised out of
+:meth:`Simulator.run` unless some other process is joined on the failing
+process (in which case the exception is delivered to the joiner, like a
+failed future).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+from repro.errors import SimulationError
+
+__all__ = [
+    "Simulator",
+    "Process",
+    "Signal",
+    "Timeout",
+    "AllOf",
+    "AnyOf",
+    "Interrupt",
+    "EventHandle",
+]
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`."""
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class EventHandle:
+    """A scheduled callback; supports O(1) cancellation (lazy deletion)."""
+
+    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+
+    def __init__(self, time: float, seq: int, fn: Callable, args: tuple):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from running; safe to call twice."""
+        self.cancelled = True
+
+    def __lt__(self, other: "EventHandle") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+
+class Waitable:
+    """Interface for things a process may ``yield``."""
+
+    def _subscribe(self, sim: "Simulator", callback: Callable[[Any, Optional[BaseException]], None]) -> Callable[[], None]:
+        """Arrange for ``callback(value, exc)`` when done; return an
+        unsubscribe function (used by :class:`AnyOf` losers)."""
+        raise NotImplementedError
+
+
+class Timeout(Waitable):
+    """Completes ``delay`` simulated seconds after the process yields it."""
+
+    __slots__ = ("delay", "value")
+
+    def __init__(self, delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout: {delay}")
+        self.delay = delay
+        self.value = value
+
+    def _subscribe(self, sim, callback):
+        handle = sim.schedule(self.delay, callback, self.value, None)
+        return handle.cancel
+
+
+class Signal(Waitable):
+    """One-shot event: processes waiting on it resume when it fires.
+
+    A signal may succeed (with a value) or fail (with an exception); a
+    signal that already fired completes new waiters immediately at the
+    current simulation time.
+    """
+
+    __slots__ = ("sim", "fired", "value", "exc", "_waiters", "name")
+
+    def __init__(self, sim: "Simulator", name: str = ""):
+        self.sim = sim
+        self.name = name
+        self.fired = False
+        self.value: Any = None
+        self.exc: Optional[BaseException] = None
+        self._waiters: list[Callable] = []
+
+    def succeed(self, value: Any = None) -> None:
+        """Fire the signal successfully, resuming all waiters."""
+        self._fire(value, None)
+
+    def fail(self, exc: BaseException) -> None:
+        """Fire the signal with an exception, which propagates to waiters."""
+        self._fire(None, exc)
+
+    def _fire(self, value, exc) -> None:
+        if self.fired:
+            raise SimulationError(f"signal {self.name!r} fired twice")
+        self.fired = True
+        self.value = value
+        self.exc = exc
+        waiters, self._waiters = self._waiters, []
+        for cb in waiters:
+            if cb is not None:
+                self.sim.schedule(0.0, cb, value, exc)
+
+    def _subscribe(self, sim, callback):
+        if self.fired:
+            handle = sim.schedule(0.0, callback, self.value, self.exc)
+            return handle.cancel
+        self._waiters.append(callback)
+        index = len(self._waiters) - 1
+
+        def unsubscribe():
+            # Lazy removal: overwrite with None (cheap, preserves order).
+            if index < len(self._waiters) and self._waiters[index] is callback:
+                self._waiters[index] = None
+
+        return unsubscribe
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "fired" if self.fired else "pending"
+        return f"<Signal {self.name!r} {state}>"
+
+
+class AllOf(Waitable):
+    """Completes when every child waitable has completed.
+
+    The value is the list of child values in order.  The first child
+    exception fails the combinator.
+    """
+
+    def __init__(self, waitables: Iterable[Waitable]):
+        self.waitables = list(waitables)
+
+    def _subscribe(self, sim, callback):
+        remaining = len(self.waitables)
+        if remaining == 0:
+            handle = sim.schedule(0.0, callback, [], None)
+            return handle.cancel
+        values: list[Any] = [None] * remaining
+        state = {"left": remaining, "failed": False}
+        unsubs: list[Callable] = []
+
+        def make_child(i):
+            def child_done(value, exc):
+                if state["failed"]:
+                    return
+                if exc is not None:
+                    state["failed"] = True
+                    callback(None, exc)
+                    return
+                values[i] = value
+                state["left"] -= 1
+                if state["left"] == 0:
+                    callback(values, None)
+
+            return child_done
+
+        for i, w in enumerate(self.waitables):
+            unsubs.append(w._subscribe(sim, make_child(i)))
+
+        def unsubscribe():
+            for u in unsubs:
+                u()
+
+        return unsubscribe
+
+
+class AnyOf(Waitable):
+    """Completes when the first child completes; value is ``(index, value)``."""
+
+    def __init__(self, waitables: Iterable[Waitable]):
+        self.waitables = list(waitables)
+        if not self.waitables:
+            raise SimulationError("AnyOf needs at least one waitable")
+
+    def _subscribe(self, sim, callback):
+        state = {"done": False}
+        unsubs: list[Callable] = []
+
+        def make_child(i):
+            def child_done(value, exc):
+                if state["done"]:
+                    return
+                state["done"] = True
+                for u in unsubs:
+                    u()
+                if exc is not None:
+                    callback(None, exc)
+                else:
+                    callback((i, value), None)
+
+            return child_done
+
+        for i, w in enumerate(self.waitables):
+            unsubs.append(w._subscribe(sim, make_child(i)))
+
+        def unsubscribe():
+            for u in unsubs:
+                u()
+
+        return unsubscribe
+
+
+ProcessGenerator = Generator[Waitable, Any, Any]
+
+
+class Process(Waitable):
+    """A simulated thread of control driving a generator.
+
+    Joining: yielding a process waits for it to finish and evaluates to
+    its return value (``return x`` inside the generator).  If the target
+    process raised, the exception is re-raised in the joiner.
+    """
+
+    __slots__ = ("sim", "gen", "name", "done", "_current_unsub", "_result_consumed")
+
+    def __init__(self, sim: "Simulator", gen: ProcessGenerator, name: str = ""):
+        self.sim = sim
+        self.gen = gen
+        self.name = name or getattr(gen, "__name__", "process")
+        self.done = Signal(sim, name=f"done:{self.name}")
+        self._current_unsub: Optional[Callable] = None
+        # Start on the next tick so the creator finishes its own step first.
+        sim.schedule(0.0, self._step, None, None)
+
+    # -- waitable protocol ------------------------------------------------
+    def _subscribe(self, sim, callback):
+        # A join counts as observing the process's outcome: its exception
+        # (if any) is delivered to the joiner instead of Simulator.run().
+        self.sim._joined.add(id(self))
+        return self.done._subscribe(sim, callback)
+
+    # -- execution ---------------------------------------------------------
+    def _step(self, value: Any, exc: Optional[BaseException]) -> None:
+        self._current_unsub = None
+        try:
+            if exc is not None:
+                target = self.gen.throw(exc)
+            else:
+                target = self.gen.send(value)
+        except StopIteration as stop:
+            self.done.succeed(stop.value)
+            return
+        except Interrupt as intr:
+            # An interrupt escaping the generator terminates it quietly.
+            self.done.succeed(intr.cause)
+            return
+        except BaseException as err:  # noqa: BLE001 - deliver to joiners
+            self.sim._record_failure(self, err)
+            self.done.fail(err)
+            return
+        if not isinstance(target, Waitable):
+            err = SimulationError(
+                f"process {self.name!r} yielded {target!r}, which is not a Waitable"
+            )
+            self.sim._record_failure(self, err)
+            self.done.fail(err)
+            return
+        self._current_unsub = target._subscribe(self.sim, self._step)
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if self.done.fired:
+            return
+        if self._current_unsub is not None:
+            self._current_unsub()
+            self._current_unsub = None
+        self.sim.schedule(0.0, self._step, None, Interrupt(cause))
+
+    @property
+    def finished(self) -> bool:
+        return self.done.fired
+
+    @property
+    def result(self) -> Any:
+        if not self.done.fired:
+            raise SimulationError(f"process {self.name!r} has not finished")
+        if self.done.exc is not None:
+            raise self.done.exc
+        return self.done.value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "finished" if self.done.fired else "running"
+        return f"<Process {self.name!r} {state}>"
+
+
+class Simulator:
+    """The event loop.
+
+    Typical usage::
+
+        sim = Simulator()
+        def worker():
+            yield sim.timeout(1.0)
+            return sim.now
+        proc = sim.process(worker())
+        sim.run()
+        assert proc.result == 1.0
+    """
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: list[EventHandle] = []
+        self._seq: int = 0
+        self._failures: list[tuple[Process, BaseException]] = []
+        self._joined: set[int] = set()
+
+    # -- scheduling --------------------------------------------------------
+    def schedule(self, delay: float, fn: Callable, *args: Any) -> EventHandle:
+        """Run ``fn(*args)`` after ``delay`` simulated seconds."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        self._seq += 1
+        handle = EventHandle(self.now + delay, self._seq, fn, args)
+        heapq.heappush(self._heap, handle)
+        return handle
+
+    def process(self, gen: ProcessGenerator, name: str = "") -> Process:
+        """Register a generator as a new simulated process."""
+        return Process(self, gen, name=name)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Waitable that completes ``delay`` seconds from now."""
+        return Timeout(delay, value)
+
+    def signal(self, name: str = "") -> Signal:
+        """Create a fresh one-shot signal bound to this simulator."""
+        return Signal(self, name=name)
+
+    def all_of(self, waitables: Iterable[Waitable]) -> AllOf:
+        return AllOf(waitables)
+
+    def any_of(self, waitables: Iterable[Waitable]) -> AnyOf:
+        return AnyOf(waitables)
+
+    # -- failure tracking ----------------------------------------------------
+    def _record_failure(self, proc: Process, err: BaseException) -> None:
+        self._failures.append((proc, err))
+
+    # -- main loop -----------------------------------------------------------
+    def run(self, until: Optional[float] = None) -> float:
+        """Execute events until the calendar is empty (or ``until``).
+
+        Returns the final simulation time.  Re-raises the first unhandled
+        process exception that no other process observed via a join.
+        """
+        heap = self._heap
+        while heap:
+            handle = heap[0]
+            if until is not None and handle.time > until:
+                self.now = until
+                break
+            heapq.heappop(heap)
+            if handle.cancelled:
+                continue
+            if handle.time < self.now - 1e-12:
+                raise SimulationError("event time went backwards")
+            self.now = max(self.now, handle.time)
+            handle.fn(*handle.args)
+        else:
+            if until is not None:
+                self.now = max(self.now, until)
+        for proc, err in self._failures:
+            if id(proc) not in self._joined:
+                raise err
+        return self.now
+
+    def peek(self) -> Optional[float]:
+        """Time of the next pending event, or None if the calendar is empty."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None

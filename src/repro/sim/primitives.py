@@ -1,0 +1,181 @@
+"""Synchronisation primitives built on :class:`~repro.sim.core.Signal`.
+
+These are the building blocks the simulated MPI runtime and storage
+services use: counting semaphores (thread pools, request windows), cyclic
+barriers (the phase boundaries every benchmark in the paper inserts
+between its write and read phases), FIFO stores (request queues), and
+gates (service up/down switches for failure injection).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Optional
+
+from repro.errors import SimulationError
+from repro.sim.core import Signal, Simulator, Waitable
+
+__all__ = ["Semaphore", "Barrier", "Store", "Gate"]
+
+
+class Semaphore:
+    """Counting semaphore with FIFO wakeup order.
+
+    ``yield sem.acquire()`` blocks until a unit is available.  Units are
+    returned with :meth:`release` (not tied to the acquiring process, so a
+    pool manager may recycle them).
+    """
+
+    def __init__(self, sim: Simulator, capacity: int, name: str = "sem"):
+        if capacity < 1:
+            raise SimulationError(f"semaphore capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.name = name
+        self.capacity = capacity
+        self._available = capacity
+        self._queue: Deque[Signal] = deque()
+
+    @property
+    def available(self) -> int:
+        return self._available
+
+    @property
+    def queued(self) -> int:
+        return len(self._queue)
+
+    def acquire(self) -> Waitable:
+        """Waitable that completes once a unit has been granted."""
+        sig = self.sim.signal(name=f"{self.name}.acquire")
+        if self._available > 0 and not self._queue:
+            self._available -= 1
+            sig.succeed()
+        else:
+            self._queue.append(sig)
+        return sig
+
+    def try_acquire(self) -> bool:
+        """Non-blocking acquire; True on success."""
+        if self._available > 0 and not self._queue:
+            self._available -= 1
+            return True
+        return False
+
+    def release(self) -> None:
+        """Return one unit, waking the oldest waiter if any."""
+        if self._queue:
+            self._queue.popleft().succeed()
+        else:
+            self._available += 1
+            if self._available > self.capacity:
+                raise SimulationError(f"semaphore {self.name!r} over-released")
+
+
+class Barrier:
+    """Cyclic barrier for ``parties`` processes.
+
+    ``yield barrier.wait()`` blocks until all parties have arrived, then
+    releases everyone simultaneously and resets for the next cycle.  The
+    value delivered to each waiter is the cycle index (0, 1, 2, ...),
+    matching how the benchmarks separate write and read phases.
+    """
+
+    def __init__(self, sim: Simulator, parties: int, name: str = "barrier"):
+        if parties < 1:
+            raise SimulationError(f"barrier parties must be >= 1, got {parties}")
+        self.sim = sim
+        self.name = name
+        self.parties = parties
+        self.cycle = 0
+        self._arrived = 0
+        self._release = sim.signal(name=f"{name}.cycle0")
+
+    @property
+    def waiting(self) -> int:
+        return self._arrived
+
+    def wait(self) -> Waitable:
+        self._arrived += 1
+        if self._arrived > self.parties:
+            raise SimulationError(
+                f"barrier {self.name!r}: more arrivals than parties ({self.parties})"
+            )
+        sig = self._release
+        if self._arrived == self.parties:
+            self._arrived = 0
+            self.cycle += 1
+            self._release = self.sim.signal(name=f"{self.name}.cycle{self.cycle}")
+            sig.succeed(self.cycle - 1)
+        return sig
+
+
+class Store:
+    """Unbounded FIFO queue of items with blocking ``get``.
+
+    Producers :meth:`put` items immediately; consumers ``yield
+    store.get()`` and receive items in arrival order.  This is the request
+    queue used by simulated service daemons.
+    """
+
+    def __init__(self, sim: Simulator, name: str = "store"):
+        self.sim = sim
+        self.name = name
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Signal] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        if self._getters:
+            self._getters.popleft().succeed(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Waitable:
+        sig = self.sim.signal(name=f"{self.name}.get")
+        if self._items:
+            sig.succeed(self._items.popleft())
+        else:
+            self._getters.append(sig)
+        return sig
+
+    def try_get(self) -> Optional[Any]:
+        if self._items:
+            return self._items.popleft()
+        return None
+
+
+class Gate:
+    """An open/closed switch processes can wait on.
+
+    While open, ``yield gate.passage()`` completes immediately; while
+    closed, waiters queue until :meth:`open` is called.  Used to model a
+    service going down (failure injection) and coming back.
+    """
+
+    def __init__(self, sim: Simulator, is_open: bool = True, name: str = "gate"):
+        self.sim = sim
+        self.name = name
+        self._open = is_open
+        self._waiters: list[Signal] = []
+
+    @property
+    def is_open(self) -> bool:
+        return self._open
+
+    def open(self) -> None:
+        self._open = True
+        waiters, self._waiters = self._waiters, []
+        for sig in waiters:
+            sig.succeed()
+
+    def close(self) -> None:
+        self._open = False
+
+    def passage(self) -> Waitable:
+        sig = self.sim.signal(name=f"{self.name}.passage")
+        if self._open:
+            sig.succeed()
+        else:
+            self._waiters.append(sig)
+        return sig

@@ -1,0 +1,122 @@
+"""Fine-grained service centres for per-operation queueing models.
+
+The flow network (:mod:`repro.sim.flownet`) covers steady-state bandwidth
+sharing; this module covers the places where individual-request queueing
+matters and the exact per-operation path is simulated — the DFUSE daemon
+thread pools, metadata request handlers, and failure-injection tests.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator, Optional
+
+from repro.errors import SimulationError
+from repro.sim.core import Simulator, Waitable
+from repro.sim.primitives import Semaphore
+
+__all__ = ["ServicePool", "TokenBucket"]
+
+
+class ServicePool:
+    """``workers`` parallel servers with a fixed (or callable) service time.
+
+    ``yield from pool.request(amount)`` queues FIFO for a worker, holds it
+    for the service time, then returns.  This models a DFUSE daemon's FUSE
+    threads or an MDS's request handlers at per-request granularity.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        workers: int,
+        service_time: float | Callable[[float], float],
+        name: str = "pool",
+    ):
+        if workers < 1:
+            raise SimulationError(f"pool needs >= 1 worker, got {workers}")
+        self.sim = sim
+        self.name = name
+        self.workers = workers
+        self._service_time = service_time
+        self._sem = Semaphore(sim, workers, name=f"{name}.workers")
+        #: completed request count, for utilisation assertions in tests
+        self.completed = 0
+        self.busy_time = 0.0
+
+    def service_time(self, amount: float = 1.0) -> float:
+        if callable(self._service_time):
+            return float(self._service_time(amount))
+        return float(self._service_time) * amount
+
+    @property
+    def queue_length(self) -> int:
+        return self._sem.queued
+
+    def request(self, amount: float = 1.0) -> Generator[Waitable, None, float]:
+        """Process-side coroutine: wait for a worker, be serviced, return
+        the time spent in service."""
+        yield self._sem.acquire()
+        duration = self.service_time(amount)
+        try:
+            if duration > 0:
+                yield self.sim.timeout(duration)
+        finally:
+            self.busy_time += duration
+            self.completed += 1
+            self._sem.release()
+        return duration
+
+
+class TokenBucket:
+    """Rate limiter: ``rate`` tokens/s with a burst ceiling.
+
+    ``yield from bucket.take(n)`` blocks until n tokens are available.
+    Used to model throttled admission (e.g. a client RPC window).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        rate: float,
+        burst: float,
+        name: str = "bucket",
+    ):
+        if rate <= 0 or burst <= 0:
+            raise SimulationError("token bucket needs positive rate and burst")
+        self.sim = sim
+        self.name = name
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._tokens = float(burst)
+        self._last_fill = sim.now
+        # Serialise takers so arrival order is preserved under contention.
+        self._turnstile = Semaphore(sim, 1, name=f"{name}.turnstile")
+
+    def _refill(self) -> None:
+        now = self.sim.now
+        dt = now - self._last_fill
+        if dt > 0:
+            self._tokens = min(self.burst, self._tokens + dt * self.rate)
+            self._last_fill = now
+
+    @property
+    def tokens(self) -> float:
+        self._refill()
+        return self._tokens
+
+    def take(self, n: float = 1.0) -> Generator[Waitable, None, None]:
+        """Consume ``n`` tokens, waiting for them to accrue if needed."""
+        if n > self.burst:
+            raise SimulationError(
+                f"cannot take {n} tokens from bucket with burst {self.burst}"
+            )
+        yield self._turnstile.acquire()
+        try:
+            self._refill()
+            if self._tokens < n:
+                wait = (n - self._tokens) / self.rate
+                yield self.sim.timeout(wait)
+                self._refill()
+            self._tokens -= n
+        finally:
+            self._turnstile.release()

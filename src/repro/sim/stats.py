@@ -1,0 +1,121 @@
+"""Measurement accounting using the paper's bandwidth definition.
+
+Section II of the paper: *"the amount of data transferred (written or
+read) divided by the wall-clock time elapsed between the start of the
+first I/O operation and the end of the last I/O operation"*, aggregated
+over all parallel processes.  :class:`PhaseRecorder` implements exactly
+that, per named phase ("write", "read"), and additionally tracks
+operation counts so IOPS figures (paper Fig. 2) use the same window.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.errors import SimulationError
+
+__all__ = ["PhaseRecorder", "PhaseStats", "mean_std"]
+
+
+@dataclass
+class PhaseStats:
+    """Aggregate of one benchmark phase across all processes."""
+
+    name: str
+    bytes: int = 0
+    ops: int = 0
+    first_start: float = math.inf
+    last_end: float = -math.inf
+    #: per-record durations (only meaningful for per-op records, i.e.
+    #: exact-mode runs; aggregate batches contribute one entry per batch)
+    latencies: list = field(default_factory=list)
+
+    def latency_percentile(self, pct: float) -> float:
+        """Latency percentile in seconds over recorded operations."""
+        if not self.latencies:
+            return 0.0
+        if not 0 <= pct <= 100:
+            raise SimulationError(f"percentile must be in [0, 100]: {pct}")
+        ordered = sorted(self.latencies)
+        index = min(len(ordered) - 1, int(round(pct / 100 * (len(ordered) - 1))))
+        return ordered[index]
+
+    @property
+    def mean_latency(self) -> float:
+        if not self.latencies:
+            return 0.0
+        return sum(self.latencies) / len(self.latencies)
+
+    @property
+    def elapsed(self) -> float:
+        """First-op-start to last-op-end window (the paper's denominator)."""
+        if self.last_end < self.first_start:
+            return 0.0
+        return self.last_end - self.first_start
+
+    @property
+    def bandwidth(self) -> float:
+        """Bytes per second over the phase window; 0 if the phase is empty."""
+        dt = self.elapsed
+        return self.bytes / dt if dt > 0 else 0.0
+
+    @property
+    def iops(self) -> float:
+        """Operations per second over the phase window."""
+        dt = self.elapsed
+        return self.ops / dt if dt > 0 else 0.0
+
+
+class PhaseRecorder:
+    """Collects per-phase I/O records from every simulated process."""
+
+    def __init__(self) -> None:
+        self._phases: Dict[str, PhaseStats] = {}
+
+    def phase(self, name: str) -> PhaseStats:
+        stats = self._phases.get(name)
+        if stats is None:
+            stats = PhaseStats(name=name)
+            self._phases[name] = stats
+        return stats
+
+    def record(self, phase: str, start: float, end: float, nbytes: int, ops: int = 1) -> None:
+        """Record one I/O (or one batch of ``ops`` I/Os) in ``phase``."""
+        if end < start:
+            raise SimulationError(f"I/O record ends before it starts ({start} > {end})")
+        stats = self.phase(phase)
+        stats.bytes += int(nbytes)
+        stats.ops += int(ops)
+        stats.latencies.append(end - start)
+        if start < stats.first_start:
+            stats.first_start = start
+        if end > stats.last_end:
+            stats.last_end = end
+
+    def get(self, phase: str) -> Optional[PhaseStats]:
+        return self._phases.get(phase)
+
+    def bandwidth(self, phase: str) -> float:
+        stats = self._phases.get(phase)
+        return stats.bandwidth if stats else 0.0
+
+    def iops(self, phase: str) -> float:
+        stats = self._phases.get(phase)
+        return stats.iops if stats else 0.0
+
+    @property
+    def phases(self) -> Dict[str, PhaseStats]:
+        return dict(self._phases)
+
+
+def mean_std(values: list[float]) -> tuple[float, float]:
+    """Mean and population standard deviation, as the paper reports
+    (average and std over the three repetitions of each test)."""
+    if not values:
+        return 0.0, 0.0
+    n = len(values)
+    mean = sum(values) / n
+    var = sum((v - mean) ** 2 for v in values) / n
+    return mean, math.sqrt(var)

@@ -1,0 +1,128 @@
+"""Run tracing: flow timelines and link utilisation reports.
+
+Attach a :class:`FlowTracer` to a flow network before a run to capture
+every transfer's lifetime, then render summaries for diagnosis — which
+flows dominated wall-clock, which links ran hot, where a model change
+shifted the bottleneck.  The tracer hooks the network's public
+``transfer`` method, so no simulation code needs to know about it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.sim.flownet import Flow, FlowNetwork
+
+__all__ = ["FlowEvent", "FlowTracer", "utilization_report"]
+
+
+@dataclass
+class FlowEvent:
+    """One completed (or still-running) flow."""
+
+    name: str
+    size: float
+    started_at: float
+    finished_at: Optional[float]
+    links: List[str]
+
+    @property
+    def duration(self) -> Optional[float]:
+        if self.finished_at is None:
+            return None
+        return self.finished_at - self.started_at
+
+    @property
+    def mean_rate(self) -> Optional[float]:
+        d = self.duration
+        if d is None or d <= 0:
+            return None
+        return self.size / d
+
+
+class FlowTracer:
+    """Records every flow started on a network while attached."""
+
+    def __init__(self, net: FlowNetwork):
+        self.net = net
+        self.events: List[FlowEvent] = []
+        self._original: Optional[Callable] = None
+
+    # -- lifecycle ---------------------------------------------------------
+    def attach(self) -> "FlowTracer":
+        if self._original is not None:
+            return self
+        self._original = self.net.transfer
+
+        def traced_transfer(size, usages, demand_cap=float("inf"), name="flow"):
+            flow: Flow = self._original(size, usages, demand_cap=demand_cap, name=name)
+            event = FlowEvent(
+                name=name,
+                size=float(size),
+                started_at=flow.started_at,
+                finished_at=flow.finished_at,  # set when size == 0
+                links=[link.name for link in flow.links],
+            )
+            self.events.append(event)
+            if not flow.done.fired:
+                def on_done(_value, _exc, event=event, flow=flow):
+                    event.finished_at = flow.finished_at
+                flow.done._subscribe(self.net.sim, on_done)
+            return flow
+
+        self.net.transfer = traced_transfer
+        return self
+
+    def detach(self) -> None:
+        if self._original is not None:
+            self.net.transfer = self._original
+            self._original = None
+
+    def __enter__(self) -> "FlowTracer":
+        return self.attach()
+
+    def __exit__(self, *exc) -> None:
+        self.detach()
+
+    # -- queries ---------------------------------------------------------------
+    @property
+    def completed(self) -> List[FlowEvent]:
+        return [e for e in self.events if e.finished_at is not None]
+
+    def slowest(self, n: int = 10) -> List[FlowEvent]:
+        return sorted(
+            self.completed, key=lambda e: e.duration or 0.0, reverse=True
+        )[:n]
+
+    def by_prefix(self) -> Dict[str, int]:
+        """Flow counts grouped by name prefix (up to the first '.')."""
+        out: Dict[str, int] = {}
+        for event in self.events:
+            prefix = event.name.split(".", 1)[0]
+            out[prefix] = out.get(prefix, 0) + 1
+        return out
+
+    def summary(self, top: int = 5) -> str:
+        lines = [f"{len(self.events)} flows traced, {len(self.completed)} completed"]
+        for event in self.slowest(top):
+            rate = event.mean_rate
+            rate_text = f"{rate:,.0f} units/s" if rate else "-"
+            lines.append(
+                f"  {event.duration:10.6f}s  {event.name:<28} size={event.size:,.0f} {rate_text}"
+            )
+        return "\n".join(lines)
+
+
+def utilization_report(net: FlowNetwork, elapsed: float, top: int = 10) -> str:
+    """The busiest links over ``elapsed`` seconds, by mean utilisation —
+    the first place to look when asking 'what was the bottleneck?'."""
+    rows = sorted(
+        net.links, key=lambda link: link.mean_utilization(elapsed), reverse=True
+    )[:top]
+    lines = [f"{'link':<28}{'capacity':>16}{'mean util':>12}"]
+    for link in rows:
+        lines.append(
+            f"{link.name:<28}{link.capacity:>16,.0f}{link.mean_utilization(elapsed):>11.1%}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,72 @@
+"""Byte-size and bandwidth units used throughout the library.
+
+All sizes are plain integers in bytes and all rates are floats in bytes
+per second, so arithmetic stays unit-free internally; this module exists
+so configuration and reporting read like the paper (``1 MiB`` I/O,
+``GiB/s`` bandwidths, ``50 Gbps`` NICs).
+"""
+
+from __future__ import annotations
+
+KiB: int = 1024
+MiB: int = 1024**2
+GiB: int = 1024**3
+TiB: int = 1024**4
+
+#: One gigabit per second expressed in bytes per second (network vendors
+#: quote decimal gigabits: 50 Gbps = 6.25 GB/s; the paper rounds this to
+#: 6.25 GiB/s and we follow the paper's convention so rooflines match).
+Gbps: float = GiB / 8
+
+_SUFFIXES = {
+    "b": 1,
+    "kib": KiB,
+    "mib": MiB,
+    "gib": GiB,
+    "tib": TiB,
+    "kb": 1000,
+    "mb": 1000**2,
+    "gb": 1000**3,
+    "tb": 1000**4,
+}
+
+
+def parse_size(text: str | int | float) -> int:
+    """Parse a human-readable size (``"1 MiB"``, ``"4kib"``, ``4096``) to bytes.
+
+    >>> parse_size("1 MiB")
+    1048576
+    >>> parse_size(512)
+    512
+    """
+    if isinstance(text, (int, float)):
+        return int(text)
+    s = text.strip().lower().replace(" ", "")
+    for suffix in sorted(_SUFFIXES, key=len, reverse=True):
+        if s.endswith(suffix):
+            number = s[: -len(suffix)]
+            return int(float(number) * _SUFFIXES[suffix])
+    return int(float(s))
+
+
+def fmt_bytes(n: float) -> str:
+    """Render a byte count with a binary suffix (``1536 -> '1.50 KiB'``)."""
+    n = float(n)
+    for suffix, factor in (("TiB", TiB), ("GiB", GiB), ("MiB", MiB), ("KiB", KiB)):
+        if abs(n) >= factor:
+            return f"{n / factor:.2f} {suffix}"
+    return f"{n:.0f} B"
+
+
+def fmt_bw(rate: float) -> str:
+    """Render a bandwidth in the unit the paper uses (GiB/s)."""
+    return f"{rate / GiB:.2f} GiB/s"
+
+
+def fmt_iops(rate: float) -> str:
+    """Render an operation rate (ops/s) with a k/M suffix."""
+    if abs(rate) >= 1e6:
+        return f"{rate / 1e6:.2f} Mops/s"
+    if abs(rate) >= 1e3:
+        return f"{rate / 1e3:.2f} kops/s"
+    return f"{rate:.1f} ops/s"

@@ -1,0 +1,44 @@
+"""Benchmark applications (paper Section II-A) and their runtime.
+
+- :mod:`repro.workloads.mpi` — the simulated MPI-style rank runtime:
+  ranks pinned evenly across client nodes, with barriers between the
+  write and read phases exactly as the real benchmarks synchronise.
+- :mod:`repro.workloads.ior` — IOR with every backend the paper tests:
+  libdaos, libdfs, POSIX on DFUSE, DFUSE+IL, HDF5 (POSIX and DAOS VOL),
+  POSIX on Lustre, and librados on Ceph.
+- :mod:`repro.workloads.fieldio` — ECMWF's Field I/O: Array-per-field
+  with shared/exclusive Key-Value indexing and the per-read size check.
+- :mod:`repro.workloads.fdb_hammer` — fdb-hammer over the FDB facade's
+  DAOS / POSIX / Ceph backends.
+- :mod:`repro.workloads.rawio` — the dd and iperf probes of Section
+  III-A that establish the hardware rooflines.
+
+Every workload runs in one of two modes: ``exact`` walks the reference
+per-operation code paths (used in tests and small studies); ``aggregate``
+lumps each rank group's serial overheads and pushes batched flows with
+identical link loads (used by the figure harness — see DESIGN.md §6 on
+scale-down).
+"""
+
+from repro.workloads.common import CephEnv, DaosEnv, LustreEnv, WorkloadConfig
+from repro.workloads.fdb_hammer import FDB_BACKENDS, run_fdb_hammer
+from repro.workloads.fieldio import run_fieldio
+from repro.workloads.ior import IOR_APIS, run_ior
+from repro.workloads.mpi import Rank, RankWorld
+from repro.workloads.rawio import measure_dd, measure_iperf
+
+__all__ = [
+    "WorkloadConfig",
+    "DaosEnv",
+    "LustreEnv",
+    "CephEnv",
+    "Rank",
+    "RankWorld",
+    "run_ior",
+    "IOR_APIS",
+    "run_fieldio",
+    "run_fdb_hammer",
+    "FDB_BACKENDS",
+    "measure_dd",
+    "measure_iperf",
+]

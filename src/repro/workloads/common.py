@@ -1,0 +1,286 @@
+"""Shared workload configuration and store environments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional
+
+from repro.ceph.monitor import CephCluster
+from repro.ceph.rados import RadosClient
+from repro.daos.client import DaosClient
+from repro.daos.pool import Pool
+from repro.dfs.dfs import Dfs
+from repro.dfuse.mount import DfuseMount, DfuseParams, InterceptedMount
+from repro.errors import ConfigError
+from repro.hardware.cluster import ClientNode, Cluster
+from repro.lustre.client import LustreClient
+from repro.lustre.fs import LustreFilesystem
+from repro.units import MiB
+
+__all__ = ["WorkloadConfig", "DaosEnv", "LustreEnv", "CephEnv"]
+
+_MODES = ("exact", "aggregate")
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """One benchmark execution's parameters.
+
+    The paper's reference scale is ``ops_per_process=10_000`` 1 MiB
+    operations; the default here is scaled down (DESIGN.md §6) because
+    steady-state bandwidth depends on capacity ratios, not run length.
+    ``batches`` splits each phase into that many lump-flow rounds in
+    aggregate mode so late-arriving groups still contend realistically.
+    """
+
+    n_client_nodes: int
+    ppn: int
+    ops_per_process: int = 64
+    op_size: int = MiB
+    mode: str = "aggregate"
+    batches: int = 2
+    write_phase: bool = True
+    read_phase: bool = True
+    jitter_sigma: float = 0.02
+    object_class: str = "SX"
+    kv_object_class: str = "S1"
+    #: IOR layout: False = file per process (the paper's configuration),
+    #: True = one shared file with per-rank segments
+    shared_file: bool = False
+
+    def __post_init__(self) -> None:
+        if self.mode not in _MODES:
+            raise ConfigError(f"mode must be one of {_MODES}, got {self.mode!r}")
+        if self.ops_per_process < 1 or self.op_size < 1:
+            raise ConfigError("ops_per_process and op_size must be positive")
+        if self.batches < 1 or self.batches > self.ops_per_process:
+            raise ConfigError("batches must be in 1..ops_per_process")
+
+    def with_(self, **kwargs) -> "WorkloadConfig":
+        return replace(self, **kwargs)
+
+    @property
+    def total_processes(self) -> int:
+        return self.n_client_nodes * self.ppn
+
+    @property
+    def bytes_per_process(self) -> int:
+        return self.ops_per_process * self.op_size
+
+    def ops_in_batch(self, batch: int) -> int:
+        """Ops of one batch (the last batch absorbs the remainder)."""
+        base = self.ops_per_process // self.batches
+        if batch == self.batches - 1:
+            return self.ops_per_process - base * (self.batches - 1)
+        return base
+
+
+def read_stream_cap(
+    cluster: "Cluster", n_streams: int, efficiency: float = 1.0, readahead: int = 4
+) -> float:
+    """Per-node demand cap for ``n_streams`` sequential readers.
+
+    A reader fetches from one device at a time (plus ``readahead``
+    prefetched chunks on the next devices), so a single stream cannot
+    exceed ``readahead`` devices' worth of read bandwidth no matter how
+    idle the cluster is — which is why the paper's read curves keep
+    rising with process count until the server side saturates.
+    """
+    return n_streams * readahead * cluster.servers[0].spec.device_read_bw * efficiency
+
+
+class PhasedRunner:
+    """Skeleton shared by every benchmark: per-rank setup, a barrier,
+    then write and/or read phases — in ``exact`` (per-rank, per-op) or
+    ``aggregate`` (per-node rank group, batched lump-flow) mode.
+
+    Subclasses implement :meth:`setup`, :meth:`write_op`,
+    :meth:`read_op`, :meth:`serial_per_op`, and :meth:`batch_flow`.
+    """
+
+    def __init__(self, env, cfg: "WorkloadConfig", recorder=None):
+        from repro.sim.stats import PhaseRecorder
+        from repro.workloads.mpi import RankWorld
+
+        self.env = env
+        self.cfg = cfg
+        self.cluster = env.cluster
+        self.sim = env.cluster.sim
+        self.recorder = recorder or PhaseRecorder()
+        self.world = RankWorld(env.cluster, cfg.n_client_nodes, cfg.ppn)
+        parties = self.world.size if cfg.mode == "exact" else cfg.n_client_nodes
+        self.phase_barrier = self.world.barrier(parties, name="phase")
+
+    # -- per-benchmark hooks -------------------------------------------------
+    def setup(self, rank):
+        raise NotImplementedError
+
+    def write_op(self, state, op_index: int):
+        raise NotImplementedError
+
+    def read_op(self, state, op_index: int):
+        raise NotImplementedError
+
+    def serial_per_op(self, node, phase: str) -> float:
+        raise NotImplementedError
+
+    def batch_flow(self, node, states, phase: str, ops: int):
+        raise NotImplementedError
+
+    def end_phase(self, state, phase: str):
+        """Optional per-rank epilogue inside the phase window (e.g. an
+        FDB flush); exact mode only."""
+        return
+        yield  # pragma: no cover
+
+    # -- skeleton ------------------------------------------------------------------
+    def phases(self):
+        out = []
+        if self.cfg.write_phase:
+            out.append("write")
+        if self.cfg.read_phase:
+            out.append("read")
+        return out
+
+    def _rank_main(self, rank):
+        cfg = self.cfg
+        state = yield from self.setup(rank)
+        yield self.phase_barrier.wait()
+        for phase in self.phases():
+            op = self.write_op if phase == "write" else self.read_op
+            for i in range(cfg.ops_per_process):
+                t0 = self.sim.now
+                yield from op(state, i)
+                self.recorder.record(phase, t0, self.sim.now, cfg.op_size)
+            t0 = self.sim.now
+            yield from self.end_phase(state, phase)
+            if self.sim.now > t0:
+                self.recorder.record(phase, t0, self.sim.now, 0, ops=0)
+            yield self.phase_barrier.wait()
+
+    def setup_group(self, node, ranks):
+        """Aggregate-mode setup hook; defaults to per-rank :meth:`setup`.
+        Runners with expensive per-rank setup flows override this to
+        batch the metadata traffic (setup is outside the measured
+        bandwidth window either way)."""
+        states = []
+        for rank in ranks:
+            state = yield from self.setup(rank)
+            states.append(state)
+        return states
+
+    def _group_main(self, node, ranks):
+        cfg = self.cfg
+        states = yield from self.setup_group(node, ranks)
+        yield self.phase_barrier.wait()
+        for phase in self.phases():
+            for batch in range(cfg.batches):
+                ops = cfg.ops_in_batch(batch)
+                t0 = self.sim.now
+                yield self.sim.timeout(ops * self.serial_per_op(node, phase))
+                yield from self.batch_flow(node, states, phase, ops)
+                self.recorder.record(
+                    phase, t0, self.sim.now, len(ranks) * ops * cfg.op_size,
+                    ops=len(ranks) * ops,
+                )
+            yield self.phase_barrier.wait()
+
+    def run(self):
+        if self.cfg.mode == "exact":
+            self.world.run(self._rank_main)
+        else:
+            self.world.run_groups(self._group_main)
+        return self.recorder
+
+
+class DaosEnv:
+    """DAOS deployment + per-node client/mount caches for workloads."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        pool: Optional[Pool] = None,
+        jitter_sigma: float = 0.02,
+        dfuse_params: Optional[DfuseParams] = None,
+    ):
+        self.cluster = cluster
+        self.pool = pool or Pool(cluster)
+        self.jitter_sigma = jitter_sigma
+        self.dfuse_params = dfuse_params or DfuseParams()
+        self._clients: Dict[int, DaosClient] = {}
+        self._dfuse: Dict[int, DfuseMount] = {}
+        self._il: Dict[int, InterceptedMount] = {}
+        self._posix_container = None
+
+    def client(self, node: ClientNode) -> DaosClient:
+        c = self._clients.get(node.index)
+        if c is None:
+            c = DaosClient(
+                self.cluster, self.pool, node, jitter_sigma=self.jitter_sigma
+            )
+            self._clients[node.index] = c
+        return c
+
+    def posix_container(self, dir_class: str = "SX", file_class: str = "SX"):
+        """The shared container DFUSE mounts expose (created lazily)."""
+        if self._posix_container is None:
+            self._posix_container = self.pool.create_container(
+                "posix", materialize=False,
+                dir_class=dir_class, file_class=file_class,
+            )
+        return self._posix_container
+
+    def dfuse(self, node: ClientNode, file_class: str = "SX") -> DfuseMount:
+        m = self._dfuse.get(node.index)
+        if m is None:
+            cont = self.posix_container(file_class=file_class)
+            dfs = Dfs(
+                self.client(node),
+                cont,
+                dir_class=cont.properties.get("dir_class", "SX"),
+                file_class=file_class,
+            )
+            m = DfuseMount(dfs, node, params=self.dfuse_params)
+            self._dfuse[node.index] = m
+        return m
+
+    def il(self, node: ClientNode, file_class: str = "SX") -> InterceptedMount:
+        w = self._il.get(node.index)
+        if w is None:
+            w = InterceptedMount(self.dfuse(node, file_class=file_class))
+            self._il[node.index] = w
+        return w
+
+
+class LustreEnv:
+    """Lustre deployment + per-node client cache."""
+
+    def __init__(self, cluster: Cluster, fs: Optional[LustreFilesystem] = None, jitter_sigma: float = 0.02):
+        self.cluster = cluster
+        self.fs = fs or LustreFilesystem(cluster)
+        self.jitter_sigma = jitter_sigma
+        self._clients: Dict[int, LustreClient] = {}
+
+    def client(self, node: ClientNode) -> LustreClient:
+        c = self._clients.get(node.index)
+        if c is None:
+            c = LustreClient(self.fs, node, jitter_sigma=self.jitter_sigma)
+            self._clients[node.index] = c
+        return c
+
+
+class CephEnv:
+    """Ceph deployment + per-node librados client cache."""
+
+    def __init__(self, cluster: Cluster, ceph: Optional[CephCluster] = None, jitter_sigma: float = 0.02):
+        self.cluster = cluster
+        self.ceph = ceph or CephCluster(cluster)
+        self.jitter_sigma = jitter_sigma
+        self._clients: Dict[int, RadosClient] = {}
+
+    def client(self, node: ClientNode) -> RadosClient:
+        c = self._clients.get(node.index)
+        if c is None:
+            c = RadosClient(self.ceph, node, jitter_sigma=self.jitter_sigma)
+            self._clients[node.index] = c
+        return c

@@ -1,0 +1,84 @@
+"""Simulated MPI-style rank runtime.
+
+The paper runs every benchmark "as a parallel MPI application" or "as a
+set of independent processes", with processes "pinned evenly across all
+available cores" of the client nodes.  This module reproduces that
+execution model: a :class:`RankWorld` places ``n_nodes x ppn`` ranks
+round-robin on client nodes, provides the inter-phase barrier, and runs
+each rank (or each node's rank *group* in aggregate mode) as a
+simulation process.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Generator, List
+
+from repro.errors import ConfigError
+from repro.hardware.cluster import ClientNode, Cluster
+from repro.sim.primitives import Barrier
+
+__all__ = ["Rank", "RankWorld"]
+
+
+@dataclass(frozen=True)
+class Rank:
+    """One benchmark process."""
+
+    rank: int
+    node: ClientNode
+
+    @property
+    def name(self) -> str:
+        return f"rank{self.rank}@{self.node.name}"
+
+
+class RankWorld:
+    """Rank placement + phase barrier for one benchmark execution."""
+
+    def __init__(self, cluster: Cluster, n_nodes: int, ppn: int):
+        if n_nodes < 1 or ppn < 1:
+            raise ConfigError(f"need >= 1 node and >= 1 ppn, got {n_nodes}x{ppn}")
+        if n_nodes > len(cluster.clients):
+            raise ConfigError(
+                f"asked for {n_nodes} client nodes, cluster has {len(cluster.clients)}"
+            )
+        if ppn > cluster.clients[0].spec.cores:
+            raise ConfigError(
+                f"ppn {ppn} exceeds the {cluster.clients[0].spec.cores} cores per node"
+            )
+        self.cluster = cluster
+        self.n_nodes = n_nodes
+        self.ppn = ppn
+        self.nodes = cluster.clients[:n_nodes]
+        #: block-pinned: node 0 gets ranks [0, ppn), node 1 [ppn, 2*ppn)...
+        self.ranks: List[Rank] = [
+            Rank(rank=n * ppn + p, node=self.nodes[n])
+            for n in range(n_nodes)
+            for p in range(ppn)
+        ]
+
+    @property
+    def size(self) -> int:
+        return len(self.ranks)
+
+    def ranks_on(self, node: ClientNode) -> List[Rank]:
+        return [r for r in self.ranks if r.node is node]
+
+    def barrier(self, parties: int, name: str = "phase") -> Barrier:
+        return Barrier(self.cluster.sim, parties, name=name)
+
+    def run(self, rank_main: Callable[[Rank], Generator]) -> None:
+        """Spawn one simulation process per rank and run to completion."""
+        for rank in self.ranks:
+            self.cluster.sim.process(rank_main(rank), name=rank.name)
+        self.cluster.sim.run()
+
+    def run_groups(self, group_main: Callable[[ClientNode, List[Rank]], Generator]) -> None:
+        """Aggregate mode: one simulation process per client node, each
+        driving that node's whole rank group."""
+        for node in self.nodes:
+            self.cluster.sim.process(
+                group_main(node, self.ranks_on(node)), name=f"group@{node.name}"
+            )
+        self.cluster.sim.run()

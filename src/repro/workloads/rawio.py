@@ -1,0 +1,90 @@
+"""Raw hardware-bandwidth probes (paper Section III-A).
+
+"The raw bandwidth of the NVMe SSDs on server instances for bulk I/O was
+measured by mounting each of the 16 drives ... and then running the dd
+command in parallel for all of them, first writing and then reading 1000
+blocks of 100 MiB" and "iperf was used to measure raw network bandwidth
+between client and server instances".
+
+These probes run against the same flow network the storage systems use,
+so the rooflines the figures are normalised against come from the model
+itself, not from constants pasted into the harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.cluster import Cluster
+from repro.units import MiB
+
+__all__ = ["DdResult", "measure_dd", "measure_iperf"]
+
+
+@dataclass(frozen=True)
+class DdResult:
+    write_bw: float
+    read_bw: float
+
+
+def measure_dd(
+    cluster: Cluster,
+    server_index: int = 0,
+    blocks: int = 10,
+    block_size: int = 100 * MiB,
+) -> DdResult:
+    """Parallel dd over every NVMe device of one server node.
+
+    Purely node-local (no network): one flow per device per phase.  The
+    paper used 1000 blocks; the default is scaled down — steady-state
+    device bandwidth does not depend on the block count.
+    """
+    node = cluster.servers[server_index]
+    sim = cluster.sim
+    net = cluster.net
+    nbytes = blocks * block_size
+    results = {}
+
+    def phase(kind: str):
+        done = {"count": 0}
+        t0 = sim.now
+
+        def dd_proc(device):
+            link = device.write_link if kind == "write" else device.read_link
+            agg = node.ssd_agg_w if kind == "write" else node.ssd_agg_r
+            flow = net.transfer(nbytes, [(link, 1.0), (agg, 1.0)], name=f"dd-{kind}")
+            yield flow.done
+            done["count"] += 1
+
+        for device in node.devices:
+            sim.process(dd_proc(device))
+        sim.run()
+        elapsed = sim.now - t0
+        results[kind] = len(node.devices) * nbytes / elapsed
+
+    phase("write")
+    phase("read")
+    return DdResult(write_bw=results["write"], read_bw=results["read"])
+
+
+def measure_iperf(
+    cluster: Cluster,
+    client_index: int = 0,
+    server_index: int = 0,
+    nbytes: int = 1024 * MiB,
+) -> float:
+    """One bulk TCP stream client -> server; returns achieved bytes/s."""
+    client = cluster.clients[client_index]
+    server = cluster.servers[server_index]
+    sim = cluster.sim
+    t0 = sim.now
+
+    def stream():
+        flow = cluster.net.transfer(
+            nbytes, [(client.nic_tx, 1.0), (server.nic_rx, 1.0)], name="iperf"
+        )
+        yield flow.done
+
+    sim.process(stream())
+    sim.run()
+    return nbytes / (sim.now - t0)

@@ -1,0 +1,141 @@
+"""GF(256) Reed-Solomon: algebra, encode/reconstruct, property tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.daos.erasure import cauchy_matrix, encode, gf_inv, gf_mul, reconstruct
+from repro.errors import DataLossError, InvalidArgumentError
+
+
+# -- field algebra -------------------------------------------------------------
+
+
+def test_gf_mul_identity_and_zero():
+    for a in range(256):
+        assert gf_mul(a, 1) == a
+        assert gf_mul(1, a) == a
+        assert gf_mul(a, 0) == 0
+        assert gf_mul(0, a) == 0
+
+
+def test_gf_mul_commutative_sample():
+    for a in (3, 77, 200, 255):
+        for b in (5, 99, 128):
+            assert gf_mul(a, b) == gf_mul(b, a)
+
+
+@given(st.integers(1, 255), st.integers(1, 255), st.integers(1, 255))
+def test_gf_mul_associative(a, b, c):
+    assert gf_mul(gf_mul(a, b), c) == gf_mul(a, gf_mul(b, c))
+
+
+@given(st.integers(1, 255))
+def test_gf_inverse(a):
+    assert gf_mul(a, gf_inv(a)) == 1
+
+
+def test_gf_inv_zero_rejected():
+    with pytest.raises(ZeroDivisionError):
+        gf_inv(0)
+
+
+def test_cauchy_matrix_nonzero_entries():
+    mat = cauchy_matrix(2, 4)
+    assert mat.shape == (2, 4)
+    assert (mat != 0).all()
+
+
+def test_cauchy_matrix_too_wide_rejected():
+    with pytest.raises(InvalidArgumentError):
+        cauchy_matrix(200, 100)
+
+
+# -- encode / reconstruct --------------------------------------------------------
+
+
+def test_encode_2p1_lengths():
+    parity = encode([b"abcd", b"wxyz"], p=1)
+    assert len(parity) == 1
+    assert len(parity[0]) == 4
+
+
+def test_encode_rejects_empty():
+    with pytest.raises(InvalidArgumentError):
+        encode([], p=1)
+    with pytest.raises(InvalidArgumentError):
+        encode([b"x"], p=0)
+
+
+def test_reconstruct_lost_data_cell_2p1():
+    data = [b"hello world!", b"goodbye it!!"]
+    parity = encode(data, p=1)
+    # lose data cell 0: reconstruct from cell 1 + parity
+    available = {1: data[1], 2: parity[0]}
+    recovered = reconstruct(available, k=2, p=1, cell_length=12)
+    assert recovered[0] == data[0]
+    assert recovered[1] == data[1]
+
+
+def test_reconstruct_no_loss_passthrough():
+    data = [b"aaaa", b"bbbb"]
+    parity = encode(data, p=1)
+    available = {0: data[0], 1: data[1], 2: parity[0]}
+    recovered = reconstruct(available, k=2, p=1, cell_length=4)
+    assert recovered == list(data)
+
+
+def test_reconstruct_insufficient_cells():
+    data = [b"aaaa", b"bbbb"]
+    encode(data, p=1)
+    with pytest.raises(DataLossError):
+        reconstruct({0: data[0]}, k=2, p=1, cell_length=4)
+
+
+def test_reconstruct_4p2_any_two_losses():
+    data = [bytes([i * 16 + j for j in range(8)]) for i in range(4)]
+    parity = encode(data, p=2)
+    cells = {i: c for i, c in enumerate(data)}
+    cells.update({4 + i: c for i, c in enumerate(parity)})
+    # every pair of losses must be recoverable
+    indices = sorted(cells)
+    for a in indices:
+        for b in indices:
+            if a >= b:
+                continue
+            available = {i: c for i, c in cells.items() if i not in (a, b)}
+            recovered = reconstruct(available, k=4, p=2, cell_length=8)
+            assert recovered == data, f"failed losing cells {a},{b}"
+
+
+def test_unequal_cell_lengths_zero_padded():
+    data = [b"long-cell!", b"tiny"]
+    parity = encode(data, p=1)
+    assert len(parity[0]) == 10
+    available = {1: data[1], 2: parity[0]}
+    recovered = reconstruct(available, k=2, p=1, cell_length=10)
+    assert recovered[0] == data[0]
+    # the short cell comes back padded; caller truncates by known extent
+    assert recovered[1][:4] == data[1]
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    k=st.integers(1, 5),
+    p=st.integers(1, 3),
+    payload=st.binary(min_size=1, max_size=200),
+    data=st.data(),
+)
+def test_roundtrip_random_losses(k, p, payload, data):
+    """Property: any k surviving cells reconstruct the original data."""
+    cell_len = (len(payload) + k - 1) // k
+    cells = [payload[i * cell_len : (i + 1) * cell_len].ljust(cell_len, b"\0") for i in range(k)]
+    parity = encode(cells, p=p)
+    everything = {i: c for i, c in enumerate(cells)}
+    everything.update({k + i: c for i, c in enumerate(parity)})
+    survivors = data.draw(
+        st.lists(st.sampled_from(sorted(everything)), min_size=k, max_size=k, unique=True)
+    )
+    available = {i: everything[i] for i in survivors}
+    recovered = reconstruct(available, k=k, p=p, cell_length=cell_len)
+    assert b"".join(recovered)[: len(payload)] == payload.ljust(k * cell_len, b"\0")[: len(payload)]

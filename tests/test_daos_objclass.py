@@ -1,0 +1,105 @@
+"""Object class grammar and derived layout properties."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.daos.objclass import GROUPS_MAX, ObjectClass
+from repro.errors import InvalidArgumentError
+
+
+def test_s1():
+    oc = ObjectClass.parse("S1")
+    assert oc.groups == 1
+    assert oc.group_width == 1
+    assert oc.replicas == 1
+    assert not oc.is_ec and not oc.is_replicated
+    assert oc.write_amplification == 1.0
+    assert oc.redundancy == 0
+
+
+def test_s4():
+    oc = ObjectClass.parse("S4")
+    assert oc.groups == 4
+    assert oc.group_width == 1
+
+
+def test_sx_resolves_to_all_targets():
+    oc = ObjectClass.parse("SX")
+    assert oc.groups == GROUPS_MAX
+    assert oc.resolve_groups(256) == 256
+
+
+def test_rp2():
+    oc = ObjectClass.parse("RP_2")
+    assert oc.replicas == 2
+    assert oc.groups == 1
+    assert oc.group_width == 2
+    assert oc.is_replicated
+    assert oc.write_amplification == 2.0
+    assert oc.redundancy == 1
+
+
+def test_rp2_gx():
+    oc = ObjectClass.parse("RP_2GX")
+    assert oc.groups == GROUPS_MAX
+    assert oc.resolve_groups(256) == 128
+
+
+def test_ec_2p1():
+    oc = ObjectClass.parse("EC_2P1")
+    assert oc.ec_k == 2 and oc.ec_p == 1
+    assert oc.group_width == 3
+    assert oc.is_ec
+    # Paper Sec III-D: 2+1 EC writes an additional 50% of data volume.
+    assert oc.write_amplification == pytest.approx(1.5)
+    assert oc.redundancy == 1
+
+
+def test_ec_4p2_gx():
+    oc = ObjectClass.parse("EC_4P2GX")
+    assert oc.resolve_groups(256) == 42
+    assert oc.write_amplification == pytest.approx(1.5)
+    assert oc.redundancy == 2
+
+
+def test_parse_case_insensitive_and_idempotent():
+    oc = ObjectClass.parse("ec_2p1")
+    assert oc.name == "EC_2P1"
+    assert ObjectClass.parse(oc) is oc
+
+
+@pytest.mark.parametrize("bad", ["", "S0", "SXX", "RP_0", "EC_2", "EC_0P1", "Q5", "S-1"])
+def test_bad_classes_rejected(bad):
+    with pytest.raises(InvalidArgumentError):
+        ObjectClass.parse(bad)
+
+
+def test_resolve_groups_pool_too_small():
+    oc = ObjectClass.parse("EC_2P1")
+    with pytest.raises(InvalidArgumentError):
+        oc.resolve_groups(2)
+
+
+def test_fixed_groups_pass_through():
+    assert ObjectClass.parse("S4").resolve_groups(256) == 4
+    assert ObjectClass.parse("RP_2G3").resolve_groups(256) == 3
+
+
+@given(st.integers(1, 64))
+def test_sn_groups_roundtrip(n):
+    oc = ObjectClass.parse(f"S{n}")
+    assert oc.groups == n
+    assert oc.resolve_groups(1024) == n
+
+
+@given(st.integers(2, 8), st.integers(1, 4))
+def test_ec_amplification_formula(k, p):
+    oc = ObjectClass.parse(f"EC_{k}P{p}")
+    assert oc.write_amplification == pytest.approx((k + p) / k)
+    assert oc.redundancy == p
+
+
+def test_ec_over_gf256_rejected():
+    with pytest.raises(InvalidArgumentError):
+        ObjectClass.parse("EC_200P100")

@@ -1,0 +1,334 @@
+"""libdfs: POSIX semantics on DAOS objects."""
+
+import pytest
+
+from repro.daos import DaosClient, Pool
+from repro.dfs import Dfs, DirEntry
+from repro.dfs.entry import KIND_FILE, KIND_SYMLINK
+from repro.errors import ExistsError, IntegrityError, InvalidArgumentError, NotFoundError
+from repro.hardware import Cluster
+from repro.units import KiB
+
+
+@pytest.fixture()
+def env():
+    cluster = Cluster(n_servers=4, n_clients=1, seed=0)
+    pool = Pool(cluster)
+    client = DaosClient(cluster, pool, cluster.clients[0])
+    cont = pool.create_container("posix")
+    dfs = Dfs(client, cont, chunk_size=4 * KiB)
+    return cluster, dfs
+
+
+def drive(cluster, gen):
+    proc = cluster.sim.process(gen)
+    cluster.sim.run()
+    return proc.result
+
+
+def test_mount_creates_root(env):
+    cluster, dfs = env
+    drive(cluster, dfs.mount())
+    assert dfs.root is not None
+
+
+def test_unmounted_operations_rejected(env):
+    cluster, dfs = env
+
+    def flow():
+        yield from dfs.create("/f")
+
+    with pytest.raises(InvalidArgumentError):
+        drive(cluster, flow())
+
+
+def test_create_write_read_roundtrip(env):
+    cluster, dfs = env
+    payload = bytes(range(256)) * 64
+
+    def flow():
+        yield from dfs.mount()
+        fh = yield from dfs.create("/data.bin")
+        yield from dfs.write(fh, 0, payload)
+        data = yield from dfs.read(fh, 0, len(payload))
+        return data
+
+    assert drive(cluster, flow()) == payload
+
+
+def test_open_existing_file(env):
+    cluster, dfs = env
+
+    def flow():
+        yield from dfs.mount()
+        fh = yield from dfs.create("/a")
+        yield from dfs.write(fh, 0, b"hello")
+        yield from dfs.release(fh)
+        fh2 = yield from dfs.open("/a")
+        return (yield from dfs.read(fh2, 0, 5))
+
+    assert drive(cluster, flow()) == b"hello"
+
+
+def test_nested_directories(env):
+    cluster, dfs = env
+
+    def flow():
+        yield from dfs.mount()
+        yield from dfs.mkdir("/a")
+        yield from dfs.mkdir("/a/b")
+        yield from dfs.mkdir("/a/b/c")
+        fh = yield from dfs.create("/a/b/c/deep.txt")
+        yield from dfs.write(fh, 0, b"deep")
+        return (yield from dfs.readdir("/a/b"))
+
+    assert drive(cluster, flow()) == ["c"]
+
+
+def test_mkdir_missing_parent(env):
+    cluster, dfs = env
+
+    def flow():
+        yield from dfs.mount()
+        yield from dfs.mkdir("/no/such/parent")
+
+    with pytest.raises(NotFoundError):
+        drive(cluster, flow())
+
+
+def test_duplicate_create_rejected(env):
+    cluster, dfs = env
+
+    def flow():
+        yield from dfs.mount()
+        yield from dfs.create("/f")
+        yield from dfs.create("/f")
+
+    with pytest.raises(ExistsError):
+        drive(cluster, flow())
+
+
+def test_stat_file_and_dir(env):
+    cluster, dfs = env
+
+    def flow():
+        yield from dfs.mount()
+        yield from dfs.mkdir("/d")
+        fh = yield from dfs.create("/d/f", mode=0o600)
+        yield from dfs.write(fh, 0, b"x" * 1234)
+        kind, size, mode = yield from dfs.stat("/d/f")
+        return kind, size, mode
+
+    kind, size, mode = drive(cluster, flow())
+    assert kind == KIND_FILE
+    assert size == 1234
+    assert mode == 0o600
+
+
+def test_unlink_file(env):
+    cluster, dfs = env
+
+    def flow():
+        yield from dfs.mount()
+        fh = yield from dfs.create("/gone")
+        yield from dfs.write(fh, 0, b"bye")
+        yield from dfs.unlink("/gone")
+        return (yield from dfs.exists("/gone"))
+
+    assert drive(cluster, flow()) is False
+
+
+def test_unlink_directory_rejected(env):
+    cluster, dfs = env
+
+    def flow():
+        yield from dfs.mount()
+        yield from dfs.mkdir("/d")
+        yield from dfs.unlink("/d")
+
+    with pytest.raises(InvalidArgumentError):
+        drive(cluster, flow())
+
+
+def test_rmdir(env):
+    cluster, dfs = env
+
+    def flow():
+        yield from dfs.mount()
+        yield from dfs.mkdir("/d")
+        yield from dfs.rmdir("/d")
+        return (yield from dfs.exists("/d"))
+
+    assert drive(cluster, flow()) is False
+
+
+def test_rmdir_nonempty_rejected(env):
+    cluster, dfs = env
+
+    def flow():
+        yield from dfs.mount()
+        yield from dfs.mkdir("/d")
+        yield from dfs.create("/d/f")
+        yield from dfs.rmdir("/d")
+
+    with pytest.raises(InvalidArgumentError):
+        drive(cluster, flow())
+
+
+def test_symlink_followed_on_open(env):
+    cluster, dfs = env
+
+    def flow():
+        yield from dfs.mount()
+        fh = yield from dfs.create("/real")
+        yield from dfs.write(fh, 0, b"via-link")
+        yield from dfs.symlink("/link", "/real")
+        target = yield from dfs.readlink("/link")
+        fh2 = yield from dfs.open("/link")
+        data = yield from dfs.read(fh2, 0, 8)
+        return target, data
+
+    target, data = drive(cluster, flow())
+    assert target == "/real"
+    assert data == b"via-link"
+
+
+def test_symlink_loop_detected(env):
+    cluster, dfs = env
+
+    def flow():
+        yield from dfs.mount()
+        yield from dfs.symlink("/a", "/b")
+        yield from dfs.symlink("/b", "/a")
+        yield from dfs.open("/a")
+
+    with pytest.raises(InvalidArgumentError):
+        drive(cluster, flow())
+
+
+def test_relative_path_rejected(env):
+    cluster, dfs = env
+
+    def flow():
+        yield from dfs.mount()
+        yield from dfs.create("relative.txt")
+
+    with pytest.raises(InvalidArgumentError):
+        drive(cluster, flow())
+
+
+def test_closed_handle_rejected(env):
+    cluster, dfs = env
+
+    def flow():
+        yield from dfs.mount()
+        fh = yield from dfs.create("/f")
+        yield from dfs.release(fh)
+        yield from dfs.write(fh, 0, b"x")
+
+    with pytest.raises(InvalidArgumentError):
+        drive(cluster, flow())
+
+
+def test_readdir_lists_everything(env):
+    cluster, dfs = env
+
+    def flow():
+        yield from dfs.mount()
+        for name in ("zz", "aa", "mm"):
+            yield from dfs.create(f"/{name}")
+        yield from dfs.mkdir("/sub")
+        return (yield from dfs.readdir("/"))
+
+    assert drive(cluster, flow()) == ["aa", "mm", "sub", "zz"]
+
+
+def test_deep_path_lookup_costs_per_component(env):
+    cluster, dfs = env
+
+    def build():
+        yield from dfs.mount()
+        yield from dfs.mkdir("/a")
+        yield from dfs.mkdir("/a/b")
+        fh = yield from dfs.create("/a/b/f")
+        yield from dfs.release(fh)
+
+    drive(cluster, build())
+
+    def timed(path):
+        t0 = cluster.sim.now
+        yield from dfs.open(path)
+        return cluster.sim.now - t0
+
+    deep = drive(cluster, timed("/a/b/f"))
+
+    def build_shallow():
+        fh = yield from dfs.create("/g")
+        yield from dfs.release(fh)
+
+    drive(cluster, build_shallow())
+    shallow = drive(cluster, timed("/g"))
+    assert deep > shallow  # two extra component lookups
+
+
+def test_dir_entry_codec_roundtrip():
+    from repro.daos.oid import ObjectId
+
+    entry = DirEntry(
+        kind=KIND_SYMLINK,
+        oid=ObjectId(0xDEAD, 0xBEEF),
+        mode=0o777,
+        chunk_size=1 << 20,
+        symlink_target="/x/y/z",
+    )
+    assert DirEntry.unpack(entry.pack()) == entry
+
+
+def test_dir_entry_bad_magic():
+    with pytest.raises(IntegrityError):
+        DirEntry.unpack(b"XXXXgarbage")
+
+
+def test_rename_file(env):
+    cluster, dfs = env
+
+    def flow():
+        yield from dfs.mount()
+        fh = yield from dfs.create("/old")
+        yield from dfs.write(fh, 0, b"moved-bytes")
+        yield from dfs.mkdir("/dir")
+        yield from dfs.rename("/old", "/dir/new")
+        gone = yield from dfs.exists("/old")
+        fh2 = yield from dfs.open("/dir/new")
+        data = yield from dfs.read(fh2, 0, 11)
+        return gone, data
+
+    gone, data = drive(cluster, flow())
+    assert gone is False
+    assert data == b"moved-bytes"
+
+
+def test_rename_refuses_overwrite(env):
+    cluster, dfs = env
+
+    def flow():
+        yield from dfs.mount()
+        yield from dfs.create("/a")
+        yield from dfs.create("/b")
+        yield from dfs.rename("/a", "/b")
+
+    with pytest.raises(ExistsError):
+        drive(cluster, flow())
+
+
+def test_rename_directory_moves_subtree(env):
+    cluster, dfs = env
+
+    def flow():
+        yield from dfs.mount()
+        yield from dfs.mkdir("/d")
+        yield from dfs.create("/d/f")
+        yield from dfs.rename("/d", "/e")
+        return (yield from dfs.readdir("/e"))
+
+    assert drive(cluster, flow()) == ["f"]

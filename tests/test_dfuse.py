@@ -1,0 +1,311 @@
+"""DFUSE daemon model and the interception library."""
+
+import pytest
+
+from repro.daos import DaosClient, Pool
+from repro.dfs import Dfs
+from repro.dfuse import DfuseMount, DfuseParams, InterceptedMount
+from repro.errors import InvalidArgumentError
+from repro.hardware import Cluster
+from repro.units import KiB, MiB
+
+
+def build(n_servers=4, params=None, chunk_size=MiB):
+    cluster = Cluster(n_servers=n_servers, n_clients=1, seed=0)
+    pool = Pool(cluster)
+    client = DaosClient(cluster, pool, cluster.clients[0])
+    cont = pool.create_container("posix", materialize=False)
+    dfs = Dfs(client, cont, chunk_size=chunk_size)
+    mount = DfuseMount(dfs, cluster.clients[0], params=params)
+    return cluster, mount
+
+
+def drive(cluster, gen):
+    proc = cluster.sim.process(gen)
+    cluster.sim.run()
+    return proc.result
+
+
+def test_daemon_capacity_from_thread_counts():
+    p = DfuseParams(fuse_threads=24, eq_threads=12)
+    assert p.daemon_capacity == pytest.approx(min(24 * 250.0, 12 * 600.0))
+    tiny = DfuseParams(fuse_threads=1, eq_threads=1)
+    assert tiny.daemon_capacity == pytest.approx(250.0)
+
+
+def test_mount_and_file_roundtrip():
+    cluster, mount = build()
+
+    def flow():
+        yield from mount.mount()
+        fh = yield from mount.creat("/f")
+        yield from mount.write(fh, 0, nbytes=64 * KiB)
+        data = yield from mount.read(fh, 0, 64 * KiB)
+        yield from mount.close(fh)
+        return len(data)
+
+    assert drive(cluster, flow()) == 64 * KiB
+
+
+def test_fuse_adds_kernel_crossing_latency():
+    """A DFUSE op must cost at least the kernel crossing more than the
+    equivalent direct libdfs op."""
+    cluster, mount = build()
+
+    def flow():
+        yield from mount.mount()
+        fh = yield from mount.creat("/f")
+        yield from mount.write(fh, 0, nbytes=1 * KiB)
+        t0 = cluster.sim.now
+        yield from mount.read(fh, 0, 1 * KiB)
+        fuse_time = cluster.sim.now - t0
+        t1 = cluster.sim.now
+        yield from mount.dfs.read(fh, 0, 1 * KiB)
+        direct_time = cluster.sim.now - t1
+        return fuse_time, direct_time
+
+    fuse_time, direct_time = drive(cluster, flow())
+    assert fuse_time >= direct_time + mount.params.kernel_crossing
+
+
+def test_interception_bypasses_fuse_for_data():
+    cluster, mount = build()
+    il = InterceptedMount(mount)
+
+    def flow():
+        yield from il.mount()  # falls through to the wrapped mount
+        fh = yield from il.creat("/f")
+        yield from il.write(fh, 0, nbytes=1 * KiB)
+        t0 = cluster.sim.now
+        yield from mount.read(fh, 0, 1 * KiB)
+        via_fuse = cluster.sim.now - t0
+        t1 = cluster.sim.now
+        yield from il.read(fh, 0, 1 * KiB)
+        via_il = cluster.sim.now - t1
+        return via_fuse, via_il
+
+    via_fuse, via_il = drive(cluster, flow())
+    assert via_il < via_fuse
+
+
+def test_il_small_io_iops_much_higher():
+    """Paper Fig. 2: at 1 KiB the IL reaches far higher IOPS than DFUSE."""
+    cluster, mount = build(chunk_size=4 * KiB)
+    il = InterceptedMount(mount)
+    n_ops = 200
+
+    def flow():
+        yield from mount.mount()
+        fh = yield from mount.creat("/f")
+        t0 = cluster.sim.now
+        for i in range(n_ops):
+            yield from mount.write(fh, i * KiB, nbytes=KiB)
+        t_fuse = cluster.sim.now - t0
+        t1 = cluster.sim.now
+        for i in range(n_ops):
+            yield from il.write(fh, i * KiB, nbytes=KiB)
+        t_il = cluster.sim.now - t1
+        return t_fuse / t_il
+
+    speedup = drive(cluster, flow())
+    assert speedup > 1.5
+
+
+def test_attr_cache_skips_round_trips():
+    cluster, mount = build(params=DfuseParams(caching=True))
+
+    def flow():
+        yield from mount.mount()
+        fh = yield from mount.creat("/f")
+        yield from mount.write(fh, 0, nbytes=128)
+        yield from mount.stat("/f")  # populates the cache
+        t0 = cluster.sim.now
+        yield from mount.stat("/f")
+        return cluster.sim.now - t0
+
+    assert drive(cluster, flow()) == 0.0
+
+
+def test_no_cache_stat_always_pays(env=None):
+    cluster, mount = build(params=DfuseParams(caching=False))
+
+    def flow():
+        yield from mount.mount()
+        fh = yield from mount.creat("/f")
+        yield from mount.write(fh, 0, nbytes=128)
+        yield from mount.stat("/f")
+        t0 = cluster.sim.now
+        yield from mount.stat("/f")
+        return cluster.sim.now - t0
+
+    assert drive(cluster, flow()) > 0.0
+
+
+def test_cache_invalidation_on_unlink():
+    cluster, mount = build(params=DfuseParams(caching=True))
+
+    def flow():
+        yield from mount.mount()
+        fh = yield from mount.creat("/f")
+        yield from mount.stat("/f")
+        yield from mount.unlink("/f")
+        return "/f" in mount._attr_cache
+
+    assert drive(cluster, flow()) is False
+
+
+def test_daemon_throughput_bounds_small_io():
+    """With a tiny daemon pool, many concurrent writers are throttled to
+    the daemon capacity, not the network."""
+    params = DfuseParams(fuse_threads=1, eq_threads=1, per_fuse_thread_ops=100.0)
+    cluster, mount = build(params=params, chunk_size=4 * KiB)
+    n_writers, ops = 8, 25
+    done = {}
+
+    def writer(i, fh):
+        for k in range(ops):
+            yield from mount.write(fh, (i * ops + k) * KiB, nbytes=KiB)
+        done[i] = cluster.sim.now
+
+    def main():
+        yield from mount.mount()
+        fh = yield from mount.creat("/shared")
+        for i in range(n_writers):
+            cluster.sim.process(writer(i, fh))
+
+    cluster.sim.process(main())
+    cluster.sim.run()
+    elapsed = max(done.values())
+    achieved_ops = n_writers * ops / elapsed
+    assert achieved_ops <= 100.0 * 1.05  # daemon-capacity bound
+
+
+def test_intercepted_mount_requires_dfuse():
+    with pytest.raises(InvalidArgumentError):
+        InterceptedMount(object())
+
+
+def test_mkdir_readdir_symlink_via_fuse():
+    cluster, mount = build()
+
+    def flow():
+        yield from mount.mount()
+        yield from mount.mkdir("/d")
+        fh = yield from mount.creat("/d/f")
+        yield from mount.close(fh)
+        yield from mount.symlink("/d/l", "/d/f")
+        return (yield from mount.readdir("/d"))
+
+    assert drive(cluster, flow()) == ["f", "l"]
+
+
+# -- data (page) cache -----------------------------------------------------------
+
+
+def build_cached(**params_kw):
+    return build(params=DfuseParams(data_caching=True, **params_kw))
+
+
+def test_data_cache_hit_costs_no_time():
+    cluster, mount = build_cached()
+
+    def flow():
+        yield from mount.mount()
+        fh = yield from mount.creat("/f")
+        yield from mount.write(fh, 0, nbytes=128 * KiB)
+        t0 = cluster.sim.now
+        yield from mount.read(fh, 0, 128 * KiB)  # resident (write-through)
+        return cluster.sim.now - t0
+
+    assert drive(cluster, flow()) == 0.0
+    assert mount.data_cache_hits == 1
+
+
+def test_data_cache_miss_then_hit():
+    cluster, mount = build_cached()
+
+    def flow():
+        yield from mount.mount()
+        fh = yield from mount.creat("/f")
+        yield from mount.write(fh, 0, nbytes=512 * KiB)
+        mount.invalidate_caches()
+        t0 = cluster.sim.now
+        yield from mount.read(fh, 0, 512 * KiB)  # miss: full path
+        miss_time = cluster.sim.now - t0
+        t1 = cluster.sim.now
+        yield from mount.read(fh, 0, 512 * KiB)  # hit
+        hit_time = cluster.sim.now - t1
+        return miss_time, hit_time
+
+    miss_time, hit_time = drive(cluster, flow())
+    assert miss_time > 0.0
+    assert hit_time == 0.0
+    assert mount.data_cache_misses == 1
+    assert mount.data_cache_hits == 1
+
+
+def test_data_cache_returns_real_bytes():
+    cluster = Cluster(n_servers=2, n_clients=1, seed=0)
+    from repro.daos import DaosClient, Pool
+    from repro.dfs import Dfs
+
+    pool = Pool(cluster)
+    client = DaosClient(cluster, pool, cluster.clients[0])
+    cont = pool.create_container("pc", materialize=True)
+    dfs = Dfs(client, cont, chunk_size=MiB)
+    mount = DfuseMount(dfs, cluster.clients[0], params=DfuseParams(data_caching=True))
+    payload = bytes(range(256)) * (64 * KiB // 256)
+
+    def flow():
+        yield from mount.mount()
+        fh = yield from mount.creat("/f")
+        yield from mount.write(fh, 0, payload)
+        hit = yield from mount.read(fh, 0, len(payload))
+        return hit
+
+    assert drive(cluster, flow()) == payload
+
+
+def test_data_cache_lru_eviction():
+    cluster, mount = build_cached(data_cache_bytes=256 * KiB)
+
+    def flow():
+        yield from mount.mount()
+        fh = yield from mount.creat("/f")
+        # write 1 MiB through a 256 KiB cache: early pages evicted
+        yield from mount.write(fh, 0, nbytes=MiB)
+        t0 = cluster.sim.now
+        yield from mount.read(fh, 0, 128 * KiB)  # evicted -> miss
+        return cluster.sim.now - t0
+
+    assert drive(cluster, flow()) > 0.0
+    assert mount._page_cache_bytes <= 256 * KiB
+
+
+def test_data_cache_invalidated_on_unlink():
+    cluster, mount = build_cached()
+
+    def flow():
+        yield from mount.mount()
+        fh = yield from mount.creat("/f")
+        yield from mount.write(fh, 0, nbytes=128 * KiB)
+        yield from mount.close(fh)
+        yield from mount.unlink("/f")
+        return mount._page_cache_bytes
+
+    assert drive(cluster, flow()) == 0
+
+
+def test_data_cache_off_by_default():
+    cluster, mount = build()
+
+    def flow():
+        yield from mount.mount()
+        fh = yield from mount.creat("/f")
+        yield from mount.write(fh, 0, nbytes=128 * KiB)
+        t0 = cluster.sim.now
+        yield from mount.read(fh, 0, 128 * KiB)
+        return cluster.sim.now - t0
+
+    assert drive(cluster, flow()) > 0.0
+    assert mount.data_cache_hits == 0

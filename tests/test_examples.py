@@ -1,0 +1,65 @@
+"""Smoke tests: the runnable examples must stay runnable.
+
+The heavyweight sweep example (storage_comparison) is exercised by the
+benchmark suite's figures instead; here we run the fast ones end to end
+and check their printed claims.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, capsys) -> str:
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+def test_quickstart(capsys):
+    out = run_example("quickstart.py", capsys)
+    assert "KV roundtrip: 'hello, object store'" in out
+    assert "reconstructed the data" in out
+    assert "simulated time elapsed" in out
+
+
+def test_interfaces_tour(capsys):
+    out = run_example("interfaces_tour.py", capsys)
+    for label in ("libdaos", "libdfs", "DFUSE", "DFUSE+IL"):
+        assert label in out
+    # DFUSE must show visibly fewer small-op IOPS than the IL
+    lines = {line.split()[0]: line for line in out.splitlines() if line.strip()}
+    assert "kops/s" in lines["DFUSE"]
+
+
+def test_weather_fields(capsys):
+    out = run_example("weather_fields.py", capsys)
+    assert "FDB on DAOS" in out
+    assert "FDB on Lustre" in out
+    assert "FDB on Ceph" in out
+
+
+def test_redundancy_failures(capsys):
+    out = run_example("redundancy_failures.py", capsys)
+    assert "EC 2+1" in out
+    assert "UNAVAILABLE (as expected)" in out
+    assert "data intact" in out
+
+
+def test_examples_exist_and_documented():
+    scripts = sorted(p.name for p in EXAMPLES.glob("*.py"))
+    assert len(scripts) >= 5
+    for script in scripts:
+        head = (EXAMPLES / script).read_text().split("\n", 3)
+        assert head[0].startswith("#!"), script
+        assert '"""' in head[1], f"{script} missing a module docstring"
+
+
+def test_performance_debugging(capsys):
+    out = run_example("performance_debugging.py", capsys)
+    assert "hot links" in out
+    assert "roofline" in out
+    assert "efficiency" in out

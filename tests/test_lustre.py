@@ -1,0 +1,220 @@
+"""Lustre model: namespace, striping, MDS bottleneck."""
+
+import pytest
+
+from repro.errors import ConfigError, ExistsError, InvalidArgumentError, NotFoundError
+from repro.hardware import Cluster
+from repro.lustre import LustreClient, LustreFilesystem, LustreParams
+from repro.units import GiB, KiB, MiB
+
+
+def build(n_servers=4, n_clients=1, params=None):
+    cluster = Cluster(n_servers=n_servers, n_clients=n_clients, seed=0)
+    fs = LustreFilesystem(cluster, params=params)
+    client = LustreClient(fs, cluster.clients[0])
+    return cluster, fs, client
+
+
+def drive(cluster, gen):
+    proc = cluster.sim.process(gen)
+    cluster.sim.run()
+    return proc.result
+
+
+def test_deployment_osts():
+    _, fs, _ = build(n_servers=4)
+    assert fs.n_osts == 64
+    assert len({o.name for o in fs.osts}) == 64
+
+
+def test_create_write_read_roundtrip():
+    cluster, fs, client = build()
+    payload = bytes(range(256)) * 32
+
+    def flow():
+        fh = yield from client.create("/f", stripe_count=4, stripe_size=4 * KiB)
+        yield from client.write(fh, 0, payload)
+        data = yield from client.read(fh, 0, len(payload))
+        return data
+
+    assert drive(cluster, flow()) == payload
+
+
+def test_striping_spreads_bytes_over_osts():
+    cluster, fs, client = build()
+
+    def flow():
+        fh = yield from client.create("/s", stripe_count=8, stripe_size=1 * KiB)
+        yield from client.write(fh, 0, b"z" * (16 * KiB))
+        return fh
+
+    fh = drive(cluster, flow())
+    used = [o for o in fh.osts if o.objects]
+    assert len(used) == 8  # every stripe OST got data
+
+
+def test_stripe_map_round_robin():
+    cluster, fs, client = build()
+
+    def flow():
+        fh = yield from client.create("/rr", stripe_count=2, stripe_size=1 * KiB)
+        return client._stripe_map(fh, 0, 4 * KiB)
+
+    pieces = drive(cluster, flow())
+    stripes = [s for _, s, _, _, _ in pieces]
+    assert stripes == [0, 1, 0, 1]
+
+
+def test_paper_stripe_settings_accepted():
+    """fdb-hammer on Lustre used 8 OSTs x 8 MiB stripes (Sec III-E)."""
+    cluster, fs, client = build(n_servers=16)
+
+    def flow():
+        fh = yield from client.create("/fdb.data", stripe_count=8, stripe_size=8 * MiB)
+        return fh.inode.stripe_count, fh.inode.stripe_size
+
+    assert drive(cluster, flow()) == (8, 8 * MiB)
+
+
+def test_invalid_stripe_count_rejected():
+    cluster, fs, client = build(n_servers=1)
+
+    def flow():
+        yield from client.create("/bad", stripe_count=100)
+
+    with pytest.raises(ConfigError):
+        drive(cluster, flow())
+
+
+def test_namespace_semantics():
+    cluster, fs, client = build()
+
+    def flow():
+        yield from client.mkdir("/d")
+        fh = yield from client.create("/d/f")
+        yield from client.write(fh, 0, b"x" * 100)
+        yield from client.close(fh)
+        size, mode = yield from client.stat("/d/f")
+        names = yield from client.readdir("/d")
+        yield from client.unlink("/d/f")
+        exists_after = True
+        try:
+            yield from client.open("/d/f")
+        except NotFoundError:
+            exists_after = False
+        return size, names, exists_after
+
+    size, names, exists_after = drive(cluster, flow())
+    assert size == 100
+    assert names == ["f"]
+    assert exists_after is False
+
+
+def test_duplicate_create_rejected():
+    cluster, fs, client = build()
+
+    def flow():
+        yield from client.create("/f")
+        yield from client.create("/f")
+
+    with pytest.raises(ExistsError):
+        drive(cluster, flow())
+
+
+def test_open_directory_rejected():
+    cluster, fs, client = build()
+
+    def flow():
+        yield from client.mkdir("/d")
+        yield from client.open("/d")
+
+    with pytest.raises(InvalidArgumentError):
+        drive(cluster, flow())
+
+
+def test_unlink_nonempty_dir_rejected():
+    cluster, fs, client = build()
+
+    def flow():
+        yield from client.mkdir("/d")
+        yield from client.create("/d/f")
+        yield from client.unlink("/d")
+
+    with pytest.raises(InvalidArgumentError):
+        drive(cluster, flow())
+
+
+def test_holes_read_as_zeros():
+    cluster, fs, client = build()
+
+    def flow():
+        fh = yield from client.create("/h", stripe_count=2, stripe_size=1 * KiB)
+        yield from client.write(fh, 4 * KiB, b"tail")
+        return (yield from client.read(fh, 0, 4 * KiB + 4))
+
+    data = drive(cluster, flow())
+    assert data[: 4 * KiB] == b"\0" * 4 * KiB
+    assert data[4 * KiB :] == b"tail"
+
+
+def test_closed_handle_rejected():
+    cluster, fs, client = build()
+
+    def flow():
+        fh = yield from client.create("/c")
+        yield from client.close(fh)
+        yield from client.write(fh, 0, b"x")
+
+    with pytest.raises(InvalidArgumentError):
+        drive(cluster, flow())
+
+
+def test_large_write_near_roofline():
+    """A wide-striped bulk write approaches the SSD write roofline
+    (one server, so the client NIC is not the bottleneck)."""
+    cluster, fs, client = build(n_servers=1)
+    nbytes = 64 * MiB
+
+    def flow():
+        fh = yield from client.create("/big", stripe_count=16, stripe_size=MiB)
+        t0 = cluster.sim.now
+        yield from client.write(fh, 0, nbytes=nbytes, materialize=False)
+        return nbytes / (cluster.sim.now - t0)
+
+    bw = drive(cluster, flow())
+    roofline = 3.86 * GiB
+    assert bw > 0.85 * roofline
+    assert bw <= roofline
+
+
+def test_mds_bottleneck_on_open_storms():
+    """Many clients doing open-per-op saturate the single MDS: aggregate
+    open rate is capped by mds_capacity regardless of OST headroom."""
+    params = LustreParams(mds_capacity=2_000.0)
+    cluster, fs, _ = build(n_servers=4, n_clients=4, params=params)
+    clients = [LustreClient(fs, n) for n in cluster.clients]
+    opens_per_client = 100
+    done = {}
+
+    def opener(i):
+        fh = yield from clients[i].create(f"/file{i}")
+        yield from clients[i].write(fh, 0, b"x" * 100)
+        yield from clients[i].close(fh)
+        for _ in range(opens_per_client):
+            fh = yield from clients[i].open(f"/file{i}")
+            yield from clients[i].close(fh)
+        done[i] = cluster.sim.now
+
+    for i in range(4):
+        cluster.sim.process(opener(i))
+    cluster.sim.run()
+    elapsed = max(done.values())
+    total_mds_ops = 4 * opens_per_client * 2.0  # 2 requests per open
+    assert total_mds_ops / elapsed <= params.mds_capacity * 1.05
+    assert total_mds_ops / elapsed >= params.mds_capacity * 0.5
+
+
+def test_lustre_requires_oss_nodes():
+    cluster = Cluster(n_servers=1, n_clients=0)
+    with pytest.raises(ConfigError):
+        LustreFilesystem(cluster, server_nodes=[])

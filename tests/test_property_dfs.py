@@ -1,0 +1,165 @@
+"""Stateful property test: DFS against an in-memory filesystem oracle.
+
+Random sequences of POSIX operations are applied simultaneously to the
+simulated DFS (through its full timed path) and to a trivial dict-based
+oracle; both must agree on every outcome — success and failure alike.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.daos import DaosClient, Pool
+from repro.dfs import Dfs
+from repro.errors import ExistsError, InvalidArgumentError, NotFoundError, StorageError
+from repro.hardware import Cluster
+from repro.units import KiB
+
+NAMES = ("a", "b", "c", "d")
+DIRS = ("", "/a", "/b")  # parents used for nesting
+
+op_strategy = st.lists(
+    st.one_of(
+        st.tuples(st.just("mkdir"), st.sampled_from(DIRS), st.sampled_from(NAMES)),
+        st.tuples(st.just("create"), st.sampled_from(DIRS), st.sampled_from(NAMES)),
+        st.tuples(
+            st.just("write"),
+            st.sampled_from(DIRS),
+            st.sampled_from(NAMES),
+            st.binary(min_size=1, max_size=256),
+        ),
+        st.tuples(st.just("unlink"), st.sampled_from(DIRS), st.sampled_from(NAMES)),
+        st.tuples(st.just("rmdir"), st.sampled_from(DIRS), st.sampled_from(NAMES)),
+    ),
+    max_size=20,
+)
+
+
+class OracleFs:
+    """Flat-model oracle: path -> ("dir", {children}) | ("file", bytes)."""
+
+    def __init__(self):
+        self.nodes = {"/": ("dir", set())}
+
+    @staticmethod
+    def _join(parent, name):
+        return (parent.rstrip("/") or "") + "/" + name
+
+    def _parent_ok(self, parent):
+        entry = self.nodes.get(parent or "/")
+        return entry is not None and entry[0] == "dir"
+
+    def mkdir(self, parent, name):
+        path = self._join(parent, name)
+        if not self._parent_ok(parent):
+            raise NotFoundError(path)
+        if path in self.nodes:
+            raise ExistsError(path)
+        self.nodes[path] = ("dir", set())
+        self.nodes[parent or "/"][1].add(name)
+
+    def create(self, parent, name):
+        path = self._join(parent, name)
+        if not self._parent_ok(parent):
+            raise NotFoundError(path)
+        if path in self.nodes:
+            raise ExistsError(path)
+        self.nodes[path] = ("file", b"")
+        self.nodes[parent or "/"][1].add(name)
+
+    def write(self, parent, name, data):
+        path = self._join(parent, name)
+        entry = self.nodes.get(path)
+        if entry is None:
+            raise NotFoundError(path)
+        if entry[0] != "file":  # opening a directory for write
+            raise InvalidArgumentError(path)
+        self.nodes[path] = ("file", data)
+
+    def unlink(self, parent, name):
+        path = self._join(parent, name)
+        entry = self.nodes.get(path)
+        if entry is None:
+            raise NotFoundError(path)
+        if entry[0] == "dir":
+            raise InvalidArgumentError(path)
+        del self.nodes[path]
+        self.nodes[parent or "/"][1].discard(name)
+
+    def rmdir(self, parent, name):
+        path = self._join(parent, name)
+        entry = self.nodes.get(path)
+        if entry is None:
+            raise NotFoundError(path)
+        if entry[0] != "dir":
+            raise InvalidArgumentError(path)
+        if entry[1]:
+            raise InvalidArgumentError(path)
+        del self.nodes[path]
+        self.nodes[parent or "/"][1].discard(name)
+
+    def files(self):
+        return {
+            path: data for path, (kind, data) in self.nodes.items() if kind == "file"
+        }
+
+
+@settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(ops=op_strategy)
+def test_dfs_agrees_with_oracle(ops):
+    cluster = Cluster(n_servers=2, n_clients=1, seed=0)
+    pool = Pool(cluster)
+    client = DaosClient(cluster, pool, cluster.clients[0])
+    cont = pool.create_container("oracle", materialize=True)
+    dfs = Dfs(client, cont, chunk_size=4 * KiB)
+    oracle = OracleFs()
+    log = []
+
+    def apply_all():
+        yield from dfs.mount()
+        handles = {}
+        for op in ops:
+            kind, parent, name = op[0], op[1], op[2]
+            path = OracleFs._join(parent, name)
+            # run against DFS
+            dfs_err = oracle_err = None
+            try:
+                if kind == "mkdir":
+                    yield from dfs.mkdir(path)
+                elif kind == "create":
+                    handles[path] = yield from dfs.create(path)
+                elif kind == "write":
+                    fh = handles.get(path)
+                    if fh is None or not fh.open:
+                        fh = yield from dfs.open(path)
+                        handles[path] = fh
+                    yield from dfs.write(fh, 0, op[3])
+                elif kind == "unlink":
+                    yield from dfs.unlink(path)
+                    handles.pop(path, None)
+                elif kind == "rmdir":
+                    yield from dfs.rmdir(path)
+            except StorageError as err:
+                dfs_err = type(err)
+            # run against the oracle
+            try:
+                if kind == "write":
+                    oracle.write(parent, name, op[3])
+                else:
+                    getattr(oracle, kind)(parent, name)
+            except StorageError as err:
+                oracle_err = type(err)
+            log.append((op, dfs_err, oracle_err))
+            assert dfs_err == oracle_err, (op, dfs_err, oracle_err, log)
+        # final state comparison: every oracle file readable with same bytes
+        for path, data in oracle.files().items():
+            fh = yield from dfs.open(path)
+            got = yield from dfs.read(fh, 0, max(len(data), 1))
+            expect = data if data else b"\0" * 1
+            if data:
+                assert got == data, path
+        return True
+
+    proc = cluster.sim.process(apply_all())
+    cluster.sim.run()
+    assert proc.result is True

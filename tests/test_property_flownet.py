@@ -1,0 +1,174 @@
+"""Property-based tests: flow-network allocation invariants.
+
+Whatever flows arrive, with whatever weights and demand caps, the
+max-min allocation must respect physics: no link over capacity, no
+capped flow above its cap, all work eventually completes, and the
+completion accounting conserves bytes.
+"""
+
+import math
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.sim.core import Simulator
+from repro.sim.flownet import FlowNetwork
+
+SETTINGS = dict(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+link_caps = st.lists(st.floats(1.0, 1000.0), min_size=1, max_size=5)
+flow_specs = st.lists(
+    st.tuples(
+        st.floats(1.0, 500.0),  # size
+        st.lists(  # (link index placeholder, weight)
+            st.tuples(st.integers(0, 4), st.floats(0.1, 3.0)),
+            min_size=1,
+            max_size=4,
+        ),
+        st.one_of(st.none(), st.floats(0.5, 200.0)),  # demand cap
+        st.floats(0.0, 2.0),  # start delay
+    ),
+    min_size=1,
+    max_size=10,
+)
+
+
+def build(caps, specs):
+    sim = Simulator()
+    net = FlowNetwork(sim)
+    links = [net.add_link(f"l{i}", c) for i, c in enumerate(caps)]
+    started = []
+
+    def driver(size, usages, cap, delay):
+        if delay:
+            yield sim.timeout(delay)
+        flow = net.transfer(
+            size,
+            [(links[li % len(links)], w) for li, w in usages],
+            demand_cap=cap if cap is not None else math.inf,
+        )
+        started.append(flow)
+        yield flow.done
+
+    for size, usages, cap, delay in specs:
+        sim.process(driver(size, usages, cap, delay))
+    return sim, net, links, started
+
+
+@settings(**SETTINGS)
+@given(caps=link_caps, specs=flow_specs)
+def test_all_flows_complete_and_conserve_bytes(caps, specs):
+    sim, net, links, started = build(caps, specs)
+    sim.run()
+    assert len(started) == len(specs)
+    for flow, (size, _, _, _) in zip(started, specs):
+        assert flow.done.fired
+        assert flow.remaining == 0.0
+        assert flow.finished_at is not None
+        assert flow.finished_at >= flow.started_at
+
+
+@settings(**SETTINGS)
+@given(caps=link_caps, specs=flow_specs)
+def test_no_link_ever_over_capacity(caps, specs):
+    """Sample the instantaneous allocation after every event: the summed
+    weighted rates on each link never exceed its capacity."""
+    sim, net, links, _ = build(caps, specs)
+    max_overrun = [0.0]
+
+    def monitor():
+        while True:
+            usage = {link.index: 0.0 for link in links}
+            for flow in net.active_flows:
+                for link, weight in zip(flow.links, flow.weights):
+                    usage[link.index] += flow.rate * weight
+            for link in links:
+                over = usage[link.index] - link.capacity
+                max_overrun[0] = max(max_overrun[0], over / link.capacity)
+            nxt = sim.peek()
+            if nxt is None:
+                return
+            yield sim.timeout(max(nxt - sim.now, 1e-6))
+
+    sim.process(monitor())
+    sim.run()
+    assert max_overrun[0] <= 1e-6
+
+
+@settings(**SETTINGS)
+@given(caps=link_caps, specs=flow_specs)
+def test_demand_caps_respected(caps, specs):
+    sim, net, links, _ = build(caps, specs)
+    violations = [0]
+
+    def monitor():
+        while True:
+            for flow in net.active_flows:
+                if math.isfinite(flow.demand_cap) and flow.rate > flow.demand_cap * (1 + 1e-9):
+                    violations[0] += 1
+            nxt = sim.peek()
+            if nxt is None:
+                return
+            yield sim.timeout(max(nxt - sim.now, 1e-6))
+
+    sim.process(monitor())
+    sim.run()
+    assert violations[0] == 0
+
+
+@settings(**SETTINGS)
+@given(
+    cap=st.floats(10.0, 1000.0),
+    sizes=st.lists(st.floats(1.0, 200.0), min_size=2, max_size=8),
+)
+def test_single_link_completion_order_by_size(cap, sizes):
+    """Equal-weight flows sharing one link finish in size order (max-min
+    fairness gives them all equal rates while active).  Near-identical
+    sizes complete in the same epsilon-batch, so require separation."""
+    from hypothesis import assume
+
+    sorted_sizes = sorted(sizes)
+    assume(all(b - a > 1e-3 for a, b in zip(sorted_sizes, sorted_sizes[1:])))
+    sim = Simulator()
+    net = FlowNetwork(sim)
+    link = net.add_link("pipe", cap)
+    finished = []
+
+    def driver(tag, size):
+        flow = net.transfer(size, [(link, 1.0)], name=str(tag))
+        yield flow.done
+        finished.append((sim.now, size, tag))
+
+    for tag, size in enumerate(sizes):
+        sim.process(driver(tag, size))
+    sim.run()
+    times = [t for t, _, _ in finished]
+    order_sizes = [s for _, s, _ in finished]
+    assert times == sorted(times)
+    assert order_sizes == sorted(order_sizes)
+
+
+@settings(**SETTINGS)
+@given(
+    cap=st.floats(10.0, 100.0),
+    n=st.integers(1, 10),
+    size=st.floats(5.0, 50.0),
+)
+def test_equal_flows_aggregate_to_capacity(cap, n, size):
+    """n identical flows on one link take exactly n*size/cap seconds."""
+    sim = Simulator()
+    net = FlowNetwork(sim)
+    link = net.add_link("pipe", cap)
+
+    def driver():
+        flow = net.transfer(size, [(link, 1.0)])
+        yield flow.done
+
+    for _ in range(n):
+        sim.process(driver())
+    end = sim.run()
+    assert end == __import__("pytest").approx(n * size / cap, rel=1e-6)

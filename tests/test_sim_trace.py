@@ -1,0 +1,122 @@
+"""Flow tracing and utilisation reporting."""
+
+import pytest
+
+from repro.sim.core import Simulator
+from repro.sim.flownet import FlowNetwork
+from repro.sim.trace import FlowTracer, utilization_report
+
+
+def run_two_flows():
+    sim = Simulator()
+    net = FlowNetwork(sim)
+    link = net.add_link("pipe", 100.0)
+    tracer = FlowTracer(net).attach()
+
+    def driver(name, size):
+        flow = net.transfer(size, [(link, 1.0)], name=name)
+        yield flow.done
+
+    sim.process(driver("short", 100.0))
+    sim.process(driver("long", 500.0))
+    sim.run()
+    return sim, net, tracer
+
+
+def test_tracer_records_lifetimes():
+    sim, net, tracer = run_two_flows()
+    assert len(tracer.events) == 2
+    assert len(tracer.completed) == 2
+    by_name = {e.name: e for e in tracer.events}
+    assert by_name["short"].duration == pytest.approx(2.0)
+    assert by_name["long"].duration == pytest.approx(6.0)
+    assert by_name["long"].mean_rate == pytest.approx(500.0 / 6.0)
+    assert by_name["short"].links == ["pipe"]
+
+
+def test_tracer_slowest_ordering_and_summary():
+    _, _, tracer = run_two_flows()
+    slowest = tracer.slowest(1)
+    assert slowest[0].name == "long"
+    text = tracer.summary()
+    assert "2 flows traced" in text
+    assert "long" in text
+
+
+def test_tracer_prefix_grouping():
+    _, _, tracer = run_two_flows()
+    assert tracer.by_prefix() == {"short": 1, "long": 1}
+
+
+def test_tracer_detach_stops_recording():
+    sim = Simulator()
+    net = FlowNetwork(sim)
+    link = net.add_link("pipe", 10.0)
+    tracer = FlowTracer(net).attach()
+    tracer.detach()
+
+    def driver():
+        flow = net.transfer(10.0, [(link, 1.0)])
+        yield flow.done
+
+    sim.process(driver())
+    sim.run()
+    assert tracer.events == []
+
+
+def test_tracer_context_manager():
+    sim = Simulator()
+    net = FlowNetwork(sim)
+    link = net.add_link("pipe", 10.0)
+    with FlowTracer(net) as tracer:
+        def driver():
+            flow = net.transfer(10.0, [(link, 1.0)])
+            yield flow.done
+        sim.process(driver())
+        sim.run()
+    assert len(tracer.completed) == 1
+    assert net.transfer.__name__ != "traced_transfer"
+
+
+def test_tracer_zero_size_flow():
+    sim = Simulator()
+    net = FlowNetwork(sim)
+    link = net.add_link("pipe", 10.0)
+    tracer = FlowTracer(net).attach()
+    net.transfer(0.0, [(link, 1.0)], name="empty")
+    assert tracer.events[0].finished_at == 0.0
+    assert tracer.events[0].mean_rate is None
+
+
+def test_utilization_report_orders_hot_links():
+    sim = Simulator()
+    net = FlowNetwork(sim)
+    hot = net.add_link("hot", 10.0)
+    cold = net.add_link("cold", 1000.0)
+
+    def driver():
+        flow = net.transfer(100.0, [(hot, 1.0), (cold, 1.0)])
+        yield flow.done
+
+    sim.process(driver())
+    sim.run()
+    report = utilization_report(net, elapsed=sim.now)
+    lines = report.splitlines()
+    assert "hot" in lines[1]  # hottest first
+    assert "100.0%" in lines[1]
+
+
+def test_tracer_on_real_workload():
+    """Trace an actual IOR run and find the expected flow families."""
+    from repro.hardware import Cluster
+    from repro.workloads.common import DaosEnv, WorkloadConfig
+    from repro.workloads.ior import run_ior
+
+    env = DaosEnv(Cluster(n_servers=2, n_clients=1, seed=0))
+    tracer = FlowTracer(env.cluster.net).attach()
+    cfg = WorkloadConfig(n_client_nodes=1, ppn=2, ops_per_process=4)
+    run_ior(env, cfg, "DAOS")
+    prefixes = tracer.by_prefix()
+    assert any("daos@" in p for p in prefixes)
+    report = utilization_report(env.cluster.net, elapsed=env.cluster.sim.now, top=5)
+    assert "capacity" in report

@@ -1,0 +1,63 @@
+"""Unit parsing and formatting."""
+
+import pytest
+
+from repro.units import GiB, Gbps, KiB, MiB, TiB, fmt_bw, fmt_bytes, fmt_iops, parse_size
+
+
+def test_constants_are_binary_powers():
+    assert KiB == 2**10
+    assert MiB == 2**20
+    assert GiB == 2**30
+    assert TiB == 2**40
+
+
+def test_gbps_matches_paper_convention():
+    # Paper: 50 Gbps NIC = 6.25 GiB/s.
+    assert 50 * Gbps == pytest.approx(6.25 * GiB)
+
+
+@pytest.mark.parametrize(
+    "text,expected",
+    [
+        ("1 MiB", MiB),
+        ("1MiB", MiB),
+        ("4kib", 4 * KiB),
+        ("2 GiB", 2 * GiB),
+        ("1.5 KiB", 1536),
+        ("100 MB", 100 * 1000**2),
+        ("3 TB", 3 * 1000**4),
+        ("512", 512),
+        ("0", 0),
+        (4096, 4096),
+        (1.0, 1),
+    ],
+)
+def test_parse_size(text, expected):
+    assert parse_size(text) == expected
+
+
+def test_parse_size_case_insensitive():
+    assert parse_size("1 gib") == parse_size("1 GiB") == parse_size("1GIB")
+
+
+def test_parse_size_garbage_raises():
+    with pytest.raises(ValueError):
+        parse_size("lots")
+
+
+def test_fmt_bytes():
+    assert fmt_bytes(512) == "512 B"
+    assert fmt_bytes(1536) == "1.50 KiB"
+    assert fmt_bytes(3 * GiB) == "3.00 GiB"
+    assert fmt_bytes(2 * TiB) == "2.00 TiB"
+
+
+def test_fmt_bw():
+    assert fmt_bw(61.76 * GiB) == "61.76 GiB/s"
+
+
+def test_fmt_iops():
+    assert fmt_iops(950.0) == "950.0 ops/s"
+    assert fmt_iops(12_500) == "12.50 kops/s"
+    assert fmt_iops(3_000_000) == "3.00 Mops/s"

@@ -1,0 +1,94 @@
+"""Simulated MPI rank runtime + workload config validation."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.hardware import Cluster
+from repro.units import MiB
+from repro.workloads.common import WorkloadConfig
+from repro.workloads.mpi import RankWorld
+
+
+def test_rank_placement_block_pinned():
+    cluster = Cluster(n_servers=1, n_clients=3, seed=0)
+    world = RankWorld(cluster, n_nodes=3, ppn=4)
+    assert world.size == 12
+    # block pinning: node 0 hosts ranks 0..3
+    assert [r.rank for r in world.ranks_on(cluster.clients[0])] == [0, 1, 2, 3]
+    assert [r.rank for r in world.ranks_on(cluster.clients[2])] == [8, 9, 10, 11]
+    assert len({r.name for r in world.ranks}) == 12
+
+
+def test_world_validates_resources():
+    cluster = Cluster(n_servers=1, n_clients=2, seed=0)
+    with pytest.raises(ConfigError):
+        RankWorld(cluster, n_nodes=5, ppn=1)  # more nodes than clients
+    with pytest.raises(ConfigError):
+        RankWorld(cluster, n_nodes=1, ppn=64)  # more ranks than cores
+    with pytest.raises(ConfigError):
+        RankWorld(cluster, n_nodes=0, ppn=1)
+
+
+def test_world_run_executes_every_rank():
+    cluster = Cluster(n_servers=1, n_clients=2, seed=0)
+    world = RankWorld(cluster, n_nodes=2, ppn=3)
+    seen = []
+
+    def main(rank):
+        yield cluster.sim.timeout(0.001 * (rank.rank + 1))
+        seen.append(rank.rank)
+
+    world.run(main)
+    assert sorted(seen) == list(range(6))
+
+
+def test_world_barrier_synchronises():
+    cluster = Cluster(n_servers=1, n_clients=2, seed=0)
+    world = RankWorld(cluster, n_nodes=2, ppn=2)
+    barrier = world.barrier(world.size)
+    releases = []
+
+    def main(rank):
+        yield cluster.sim.timeout(0.01 * rank.rank)
+        yield barrier.wait()
+        releases.append(cluster.sim.now)
+
+    world.run(main)
+    assert len(set(releases)) == 1  # everyone released together
+
+
+def test_run_groups_one_process_per_node():
+    cluster = Cluster(n_servers=1, n_clients=3, seed=0)
+    world = RankWorld(cluster, n_nodes=3, ppn=8)
+    groups = []
+
+    def group_main(node, ranks):
+        groups.append((node.index, len(ranks)))
+        yield cluster.sim.timeout(0.0)
+
+    world.run_groups(group_main)
+    assert sorted(groups) == [(0, 8), (1, 8), (2, 8)]
+
+
+def test_workload_config_validation():
+    with pytest.raises(ConfigError):
+        WorkloadConfig(n_client_nodes=1, ppn=1, mode="warp")
+    with pytest.raises(ConfigError):
+        WorkloadConfig(n_client_nodes=1, ppn=1, ops_per_process=0)
+    with pytest.raises(ConfigError):
+        WorkloadConfig(n_client_nodes=1, ppn=1, ops_per_process=4, batches=8)
+
+
+def test_workload_config_batching_math():
+    cfg = WorkloadConfig(n_client_nodes=2, ppn=3, ops_per_process=10, batches=3)
+    sizes = [cfg.ops_in_batch(b) for b in range(3)]
+    assert sum(sizes) == 10
+    assert sizes == [3, 3, 4]  # remainder lands in the last batch
+    assert cfg.total_processes == 6
+    assert cfg.bytes_per_process == 10 * MiB
+
+
+def test_workload_config_with_():
+    cfg = WorkloadConfig(n_client_nodes=2, ppn=2)
+    assert cfg.with_(ppn=16).ppn == 16
+    assert cfg.ppn == 2  # original untouched

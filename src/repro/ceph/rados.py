@@ -89,6 +89,21 @@ class RadosClient:
         self._op_rng = ceph.cluster.rng.stream(f"rados.{node.name}.op-jitter")
         self.op_jitter_sigma = 0.1
         self.connected = False
+        # Observability (dormant when the cluster carries none).
+        self._obs = ceph.cluster.obs
+        if self._obs is not None:
+            reg = self._obs.registry
+            self._tid = self._obs.node_tid(node)
+            self._m_mon = reg.counter(
+                "ceph.mon.ops", unit="ops",
+                description="requests charged on the monitor",
+            )
+            self._m_bytes_w = reg.counter("ceph.osd.bytes_written", unit="B")
+            self._m_bytes_r = reg.counter("ceph.osd.bytes_read", unit="B")
+            self._m_osd_ops = reg.counter(
+                "ceph.osd.ops", unit="ops",
+                description="request slots consumed across OSDs",
+            )
 
     # -- plumbing ------------------------------------------------------------
     def _serial(self):
@@ -98,6 +113,8 @@ class RadosClient:
         return self.sim.timeout(dt)
 
     def _mon_request(self, ops: float = 1.0) -> Generator:
+        if self._obs is not None:
+            self._m_mon.inc(ops)
         yield self._serial()
         flow = self.net.transfer(ops, [(self.ceph.monitor.link, 1.0)], name="mon-req")
         yield flow.done
@@ -121,6 +138,35 @@ class RadosClient:
         )
 
     def _data_flow(
+        self,
+        kind: str,
+        per_osd: Dict[Osd, int],
+        name: str,
+        ops_per_osd: float = 1.0,
+        ops_by_osd: Optional[Dict[Osd, float]] = None,
+        demand_cap: float = float("inf"),
+    ) -> Generator:
+        if self._obs is None:
+            yield from self._data_flow_raw(
+                kind, per_osd, name, ops_per_osd, ops_by_osd, demand_cap
+            )
+            return
+        nbytes = float(sum(per_osd.values()))
+        if nbytes > 0:
+            (self._m_bytes_w if kind == "write" else self._m_bytes_r).inc(nbytes)
+            if ops_by_osd is not None:
+                self._m_osd_ops.inc(sum(ops_by_osd.values()))
+            else:
+                self._m_osd_ops.inc(ops_per_osd * len(per_osd))
+        op = name[len("rados-"):] if name.startswith("rados-") else name
+        with self._obs.tracer.span(
+            f"ceph.{op}", cat="ceph", tid=self._tid, args={"bytes": nbytes}
+        ):
+            yield from self._data_flow_raw(
+                kind, per_osd, name, ops_per_osd, ops_by_osd, demand_cap
+            )
+
+    def _data_flow_raw(
         self,
         kind: str,
         per_osd: Dict[Osd, int],

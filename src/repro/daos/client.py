@@ -64,6 +64,22 @@ class DaosClient:
         # would otherwise collide on the same server forever.
         self._op_rng = cluster.rng.stream(f"{self.name}.op-jitter")
         self.op_jitter_sigma = 0.1
+        # Observability (dormant unless the cluster carries one): cached
+        # instrument references so the hot path is one None-check.
+        self._obs = cluster.obs
+        if self._obs is not None:
+            reg = self._obs.registry
+            self._tid = self._obs.node_tid(node)
+            self._m_rpc = reg.counter(
+                "daos.rpc.count", unit="rpcs",
+                description="serial client RPC round trips",
+            )
+            self._m_bytes_w = reg.counter("daos.bytes.written", unit="B")
+            self._m_bytes_r = reg.counter("daos.bytes.read", unit="B")
+            self._m_md_ops = reg.counter(
+                "daos.md.ops", unit="ops",
+                description="engine metadata + pool-service operations",
+            )
 
     # ------------------------------------------------------------------ timing
     def _serial(self, extra: float = 0.0):
@@ -71,6 +87,8 @@ class DaosClient:
         dt = (self.params.rpc_rtt + self.params.client_io_overhead + extra) * self.jitter
         if self.op_jitter_sigma > 0:
             dt *= float(np.exp(self._op_rng.normal(0.0, self.op_jitter_sigma)))
+        if self._obs is not None:
+            self._m_rpc.inc()
         return self.sim.timeout(dt)
 
     def _link_loads_for_data(
@@ -182,9 +200,21 @@ class DaosClient:
                     loads[link] = loads.get(link, 0.0) + amount
                     total_md += amount
         units = float(sum(charges.values()))
+        nbytes = units
         if units <= 0:
             units = max(total_md, 1.0)
-        yield from self._transfer(f"{self.name}.{name}", units, loads, demand_cap=demand_cap)
+        if self._obs is None:
+            yield from self._transfer(f"{self.name}.{name}", units, loads, demand_cap=demand_cap)
+            return
+        if nbytes > 0:
+            (self._m_bytes_w if kind == "write" else self._m_bytes_r).inc(nbytes)
+        if total_md > 0:
+            self._m_md_ops.inc(total_md)
+        with self._obs.tracer.span(
+            f"daos.{name}", cat="daos", tid=self._tid,
+            args={"bytes": nbytes, "md_ops": total_md},
+        ):
+            yield from self._transfer(f"{self.name}.{name}", units, loads, demand_cap=demand_cap)
 
     def _md_flow(self, ops_by_engine: Dict[Engine, float], rsvc_ops: float = 0.0, name: str = "md") -> Generator:
         yield from self.bulk_transfer("write", {}, ops_by_engine, rsvc_ops, name=name)

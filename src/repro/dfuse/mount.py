@@ -80,6 +80,20 @@ class DfuseMount:
         self._page_cache_bytes = 0
         self.data_cache_hits = 0
         self.data_cache_misses = 0
+        # Observability (dormant when the cluster carries none).
+        self._obs = dfs.client.cluster.obs
+        if self._obs is not None:
+            reg = self._obs.registry
+            self._m_hops = reg.counter(
+                "dfuse.fuse_hop.count", unit="ops",
+                description="syscalls crossing the kernel into the daemon",
+            )
+            self._m_hits = reg.counter("dfuse.cache.hit", unit="ops")
+            self._m_misses = reg.counter("dfuse.cache.miss", unit="ops")
+            self._m_il = reg.counter(
+                "dfuse.il.ops", unit="ops",
+                description="reads/writes short-circuited by the interception library",
+            )
 
     # -- page cache ---------------------------------------------------------------
     _PAGE = 128 * 1024  # cache granularity
@@ -99,8 +113,12 @@ class DfuseMount:
             for k in keys:
                 self._page_cache.move_to_end(k)
             self.data_cache_hits += 1
+            if self._obs is not None:
+                self._m_hits.inc()
             return True
         self.data_cache_misses += 1
+        if self._obs is not None:
+            self._m_misses.inc()
         return False
 
     def _cache_insert(self, handle, offset: int, nbytes: int) -> None:
@@ -122,6 +140,8 @@ class DfuseMount:
     # -- plumbing ---------------------------------------------------------------
     def _fuse_hop(self, requests: float = 1.0) -> Generator:
         """One syscall through the kernel and the daemon thread pool."""
+        if self._obs is not None:
+            self._m_hops.inc()
         yield self.sim.timeout(self.params.kernel_crossing)
         net = self.dfs.client.net
         flow = net.transfer(requests, [(self.fuse_link, 1.0)], name="fuse-req")
@@ -215,10 +235,14 @@ class InterceptedMount:
         self.params = mount.params
 
     def write(self, handle: DfsFile, offset: int, data=None, nbytes=None) -> Generator:
+        if self._mount._obs is not None:
+            self._mount._m_il.inc()
         yield self.sim.timeout(self.params.il_overhead)
         yield from self.dfs.write(handle, offset, data=data, nbytes=nbytes)
 
     def read(self, handle: DfsFile, offset: int, nbytes: int) -> Generator:
+        if self._mount._obs is not None:
+            self._mount._m_il.inc()
         yield self.sim.timeout(self.params.il_overhead)
         data = yield from self.dfs.read(handle, offset, nbytes)
         return data

@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+import repro.obs
 from repro.errors import ConfigError
 from repro.hardware.specs import (
     CLIENT_N2_HIGHCPU_32,
@@ -107,6 +108,7 @@ class Cluster:
         client_spec: ClientSpec = CLIENT_N2_HIGHCPU_32,
         fabric: FabricParams = FabricParams(),
         seed: int = 0,
+        obs=None,
     ):
         if n_servers < 1:
             raise ConfigError(f"cluster needs >= 1 server node, got {n_servers}")
@@ -116,6 +118,14 @@ class Cluster:
         self.net = FlowNetwork(self.sim)
         self.fabric = fabric
         self.rng = RngStreams(seed=seed)
+        # Observability is ambient: pass obs= explicitly or activate one
+        # with ``repro.obs.activated(...)`` around the cluster build.
+        # None (the default) keeps every layer's instrumentation dormant.
+        if obs is None:
+            obs = repro.obs.current()
+        self.obs = obs
+        if obs is not None:
+            obs.bind(self)
         self.servers: list[ServerNode] = [
             ServerNode(self, i, server_spec) for i in range(n_servers)
         ]

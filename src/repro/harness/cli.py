@@ -5,6 +5,13 @@ Usage::
     python -m repro.harness.cli F1            # one figure, quick scale
     python -m repro.harness.cli F5 --scale full
     python -m repro.harness.cli all --markdown results.md
+    python -m repro.harness.cli F1 --trace f1.json --metrics
+
+``--trace`` writes a Chrome trace-event file (open it at
+https://ui.perfetto.dev or chrome://tracing); ``--metrics`` prints the
+per-layer instrument table.  Either flag activates the observability
+layer for the whole build; instrumentation never changes the simulated
+numbers (see docs/OBSERVABILITY.md).
 """
 
 from __future__ import annotations
@@ -13,6 +20,7 @@ import argparse
 import sys
 import time
 
+import repro.obs as obs_mod
 from repro.harness.figures import FIGURES, build_figure
 from repro.harness.report import render_figure, render_markdown
 
@@ -34,21 +42,44 @@ def main(argv=None) -> int:
         "--markdown", metavar="PATH",
         help="also append markdown blocks to this file",
     )
+    parser.add_argument(
+        "--trace", metavar="PATH",
+        help="write a Chrome trace-event JSON of every simulated run "
+             "(open in chrome://tracing or Perfetto)",
+    )
+    parser.add_argument(
+        "--metrics", action="store_true",
+        help="print the per-layer metrics table after each figure",
+    )
     args = parser.parse_args(argv)
 
     fig_ids = sorted(FIGURES) if args.figure == "all" else [args.figure]
     if any(f not in FIGURES for f in fig_ids):
         parser.error(f"unknown figure {args.figure!r}; known: {sorted(FIGURES)}")
 
+    observe = bool(args.trace) or args.metrics
     md_blocks = []
+    traced = []
     failures = 0
     for fig_id in fig_ids:
+        obs = obs_mod.Observability() if observe else None
         t0 = time.time()
-        result = build_figure(fig_id, scale=args.scale)
-        print(render_figure(result))
+        with obs_mod.activated(obs):
+            result = build_figure(fig_id, scale=args.scale)
+        if obs is not None:
+            obs.finalize()
+        print(render_figure(result, obs=obs))
+        if args.metrics and obs is not None:
+            print()
+            print(obs.registry.render_table())
         print(f"(built in {time.time() - t0:.1f}s at scale={args.scale})\n")
         md_blocks.append(render_markdown(result))
         failures += sum(1 for c in result.checks if not c.passed)
+        if obs is not None:
+            traced.append((fig_id, obs.tracer))
+    if args.trace:
+        n = obs_mod.export_chrome_trace(args.trace, traced)
+        print(f"{n} trace events written to {args.trace}")
     if args.markdown:
         with open(args.markdown, "a") as fh:
             fh.write("\n\n".join(md_blocks) + "\n")

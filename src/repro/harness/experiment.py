@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Dict, Optional, Tuple
 
+import repro.obs
 from repro.errors import ConfigError
 from repro.hardware.cluster import Cluster
 from repro.sim.stats import mean_std
@@ -107,16 +108,31 @@ def _run_once(spec: PointSpec, seed: int):
         kv_object_class=spec.kv_object_class,
     )
     if spec.workload == "ior":
-        return run_ior(env, cfg, spec.api, **spec.extra_kwargs)
-    if spec.workload == "fieldio":
-        return run_fieldio(env, cfg)
-    return run_fdb_hammer(env, cfg, spec.api, **spec.extra_kwargs)
+        recorder = run_ior(env, cfg, spec.api, **spec.extra_kwargs)
+    elif spec.workload == "fieldio":
+        recorder = run_fieldio(env, cfg)
+    else:
+        recorder = run_fdb_hammer(env, cfg, spec.api, **spec.extra_kwargs)
+    if env.cluster.obs is not None:
+        env.cluster.obs.finalize_run(env.cluster)
+    return recorder
 
 
-def run_point(spec: PointSpec, reps: int = 3, base_seed: int = 0) -> PointResult:
-    """Run ``reps`` repetitions and aggregate (paper methodology)."""
+def run_point(
+    spec: PointSpec, reps: int = 3, base_seed: int = 0, obs=None
+) -> PointResult:
+    """Run ``reps`` repetitions and aggregate (paper methodology).
+
+    ``obs`` optionally activates a :class:`repro.obs.Observability` for
+    the duration (equivalent to wrapping the call in
+    ``repro.obs.activated(obs)``); every repetition binds to it as one
+    trace pid.
+    """
     if reps < 1:
         raise ConfigError(f"need >= 1 repetition, got {reps}")
+    if obs is not None:
+        with repro.obs.activated(obs):
+            return run_point(spec, reps=reps, base_seed=base_seed)
     w_bw, r_bw, w_io, r_io = [], [], [], []
     for rep in range(reps):
         recorder = _run_once(spec, seed=base_seed * 1000 + rep)

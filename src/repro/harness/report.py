@@ -6,6 +6,7 @@ from __future__ import annotations
 from typing import List
 
 from repro.harness.figures import FigureResult, Series
+from repro.obs.report import render_bottlenecks
 
 __all__ = ["render_figure", "render_markdown"]
 
@@ -18,8 +19,13 @@ def _fmt_series_row(series: Series) -> List[str]:
     return [series.label] + cells
 
 
-def render_figure(result: FigureResult) -> str:
-    """Human-readable block: series tables + check outcomes."""
+def render_figure(result: FigureResult, obs=None) -> str:
+    """Human-readable block: series tables + check outcomes.
+
+    When ``obs`` (a :class:`repro.obs.Observability` that watched the
+    figure build) is given, a bottleneck summary — top spans, hottest
+    links, per-layer counters — is appended.
+    """
     lines: List[str] = []
     lines.append("=" * 78)
     lines.append(f"{result.fig_id}: {result.title}")
@@ -47,6 +53,9 @@ def render_figure(result: FigureResult) -> str:
             lines.append(f"  [{mark}] {check.description}{detail}")
     if result.notes:
         lines.append(f"notes: {result.notes}")
+    if obs is not None:
+        lines.append("")
+        lines.append(render_bottlenecks(obs))
     return "\n".join(lines)
 
 

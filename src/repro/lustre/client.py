@@ -44,6 +44,17 @@ class LustreClient:
         )
         self._op_rng = fs.cluster.rng.stream(f"lustre.{node.name}.op-jitter")
         self.op_jitter_sigma = 0.1
+        # Observability (dormant when the cluster carries none).
+        self._obs = fs.cluster.obs
+        if self._obs is not None:
+            reg = self._obs.registry
+            self._tid = self._obs.node_tid(node)
+            self._m_mds = reg.counter(
+                "lustre.mds.ops", unit="ops",
+                description="requests charged on the metadata server",
+            )
+            self._m_bytes_w = reg.counter("lustre.bytes.written", unit="B")
+            self._m_bytes_r = reg.counter("lustre.bytes.read", unit="B")
 
     # -- plumbing -------------------------------------------------------------
     def _serial(self):
@@ -54,6 +65,8 @@ class LustreClient:
 
     def mds_request(self, ops: float = 1.0) -> Generator:
         """Charge ``ops`` requests on the (single) MDS."""
+        if self._obs is not None:
+            self._m_mds.inc(ops)
         yield self._serial()
         flow = self.net.transfer(ops, [(self.fs.mds.link, 1.0)], name="mds-req")
         yield flow.done
@@ -75,6 +88,32 @@ class LustreClient:
         )
 
     def _data_flow(
+        self,
+        kind: str,
+        per_ost: Dict[Ost, int],
+        name: str,
+        extra_loads: Optional[Dict[Link, float]] = None,
+        demand_cap: float = float("inf"),
+        touch_ost: bool = True,
+        touch_net: bool = True,
+    ) -> Generator:
+        if self._obs is None:
+            yield from self._data_flow_raw(
+                kind, per_ost, name, extra_loads, demand_cap, touch_ost, touch_net
+            )
+            return
+        nbytes = float(sum(per_ost.values()))
+        if nbytes > 0:
+            (self._m_bytes_w if kind == "write" else self._m_bytes_r).inc(nbytes)
+        op = name[len("lustre-"):] if name.startswith("lustre-") else name
+        with self._obs.tracer.span(
+            f"lustre.{op}", cat="lustre", tid=self._tid, args={"bytes": nbytes}
+        ):
+            yield from self._data_flow_raw(
+                kind, per_ost, name, extra_loads, demand_cap, touch_ost, touch_net
+            )
+
+    def _data_flow_raw(
         self,
         kind: str,
         per_ost: Dict[Ost, int],

@@ -1,0 +1,197 @@
+"""Unified observability: metrics registry + hierarchical span tracer.
+
+One :class:`Observability` object follows an experiment across every
+simulated cluster it builds (the harness builds a fresh cluster per
+repetition).  Binding is automatic: :class:`repro.hardware.Cluster`
+looks up the *active* observability at construction time, so
+
+    from repro import obs
+
+    o = obs.Observability()
+    with obs.activated(o):
+        result = run_point(spec)          # every layer is instrumented
+    print(o.registry.render_table())
+    obs.export_chrome_trace("trace.json", o.tracer)
+
+works without threading an argument through the harness, figures, or
+workloads.  With no active observability every instrumentation site is
+a single ``is None`` check — the simulation schedules exactly the same
+events either way, so measured bandwidths are bit-identical with and
+without instrumentation.
+
+Span names follow ``layer.operation`` (``daos.arr-write``,
+``workload.read``); metric names likewise (``dfuse.cache.hit``,
+``sim.events_executed``).  See ``docs/OBSERVABILITY.md`` for the
+instrument catalogue.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Dict, List, Optional
+
+from repro.obs.export import chrome_trace_events, export_chrome_trace, export_json
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.span import TID_FLOWNET, TID_NODE_BASE, TID_SIM, Span, Tracer
+
+__all__ = [
+    "Observability",
+    "activated",
+    "current",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Span",
+    "Tracer",
+    "chrome_trace_events",
+    "export_chrome_trace",
+    "export_json",
+    "TID_SIM",
+    "TID_FLOWNET",
+    "TID_NODE_BASE",
+]
+
+#: flow-duration histogram buckets (simulated seconds)
+_FLOW_BUCKETS = (1e-5, 1e-4, 1e-3, 1e-2, 0.1, 0.5, 1.0, 5.0, 30.0)
+
+
+class Observability:
+    """A metrics registry and a tracer that travel together.
+
+    The same object may observe many clusters in sequence (one per
+    repetition / figure point); each binding becomes one ``pid`` in the
+    exported trace.  Aggregated link statistics survive across runs so
+    the bottleneck summary can rank the hottest links of a whole
+    figure, not just the last repetition.
+    """
+
+    def __init__(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
+    ):
+        self.registry = registry or MetricsRegistry()
+        self.tracer = tracer or Tracer()
+        self.run_index = -1
+        #: link name -> [busy integral, capacity * elapsed] across runs
+        self.link_stats: Dict[str, List[float]] = {}
+        self._bound = None
+        self._finalized = True
+
+    # -- cluster wiring ------------------------------------------------------
+    def bind(self, cluster) -> None:
+        """Attach to a freshly built cluster (called by ``Cluster``)."""
+        self.finalize()  # close out the previous run, if still open
+        self.run_index += 1
+        sim = cluster.sim
+        self.tracer.set_context(pid=self.run_index, clock=lambda: sim.now)
+        sim.metrics = self.registry
+        self._hook_flownet(cluster.net)
+        self._bound = cluster
+        self._finalized = False
+
+    def _hook_flownet(self, net) -> None:
+        reg = self.registry
+        tracer = self.tracer
+        started = reg.counter("flownet.flows.started", unit="flows")
+        completed = reg.counter("flownet.flows.completed", unit="flows")
+        units = reg.counter("flownet.units.transferred", unit="units")
+        durations = reg.histogram(
+            "flownet.flow.duration", unit="s", bounds=_FLOW_BUCKETS,
+            description="lifetime of completed flows",
+        )
+
+        def on_transfer(flow):
+            started.inc()
+            units.inc(flow.size)
+            if flow.done.fired:  # zero-size flows complete synchronously
+                completed.inc()
+                durations.observe(0.0)
+                tracer.record(flow.name, "flownet", flow.started_at,
+                              flow.finished_at, tid=TID_FLOWNET)
+                return
+
+            def on_done(_value, _exc, flow=flow):
+                if flow.finished_at is None:
+                    return  # cancelled: not a completion
+                completed.inc()
+                durations.observe(flow.finished_at - flow.started_at)
+                tracer.record(flow.name, "flownet", flow.started_at,
+                              flow.finished_at, tid=TID_FLOWNET)
+
+            flow.done._subscribe(net.sim, on_done)
+
+        net.on_transfer.append(on_transfer)
+
+    def finalize(self) -> None:
+        """Close out the currently bound cluster, if any (idempotent).
+
+        Rebinding finalizes the previous cluster automatically; call
+        this after the last run so its ``sim.run`` span and link
+        statistics are captured too (the harness does)."""
+        if self._bound is not None and not self._finalized:
+            self.finalize_run(self._bound)
+
+    def finalize_run(self, cluster) -> None:
+        """Record run-level data once a cluster's simulation is over:
+        the ``sim.run`` span and every link's utilisation integral."""
+        if cluster is self._bound:
+            if self._finalized:
+                return
+            self._finalized = True
+        elapsed = cluster.sim.now
+        self.tracer.record("sim.run", "sim", 0.0, elapsed, tid=TID_SIM)
+        if elapsed > 0:
+            for link in cluster.net.links:
+                acc = self.link_stats.setdefault(link.name, [0.0, 0.0])
+                acc[0] += link.busy_integral
+                acc[1] += link.capacity * elapsed
+
+    # -- lane helpers --------------------------------------------------------
+    def node_tid(self, node) -> int:
+        """Stable per-client-node lane id (labels the trace thread)."""
+        tid = TID_NODE_BASE + node.index
+        self.tracer.label_thread(tid, node.name)
+        return tid
+
+    # -- reporting -----------------------------------------------------------
+    def hottest_links(self, top: int = 10) -> List[tuple]:
+        """(link name, mean utilisation) pairs, hottest first, across
+        every observed run."""
+        rows = [
+            (name, busy / denom)
+            for name, (busy, denom) in self.link_stats.items()
+            if denom > 0
+        ]
+        rows.sort(key=lambda r: r[1], reverse=True)
+        return rows[:top]
+
+    def reset(self) -> None:
+        """Zero metrics and drop spans/link stats; keep instrument
+        catalogue and cached references valid."""
+        self.registry.reset()
+        self.tracer.clear()
+        self.link_stats.clear()
+
+
+# ---------------------------------------------------------------- active context
+
+_active: Optional[Observability] = None
+
+
+def current() -> Optional[Observability]:
+    """The observability new clusters bind to, or None."""
+    return _active
+
+
+@contextmanager
+def activated(obs: Optional[Observability]):
+    """Make ``obs`` the active observability for the duration."""
+    global _active
+    previous = _active
+    _active = obs
+    try:
+        yield obs
+    finally:
+        _active = previous

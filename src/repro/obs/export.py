@@ -1,0 +1,114 @@
+"""Trace exporters: Chrome trace-event JSON and a plain JSON dump.
+
+The Chrome format is the Trace Event Format consumed by
+``chrome://tracing`` and https://ui.perfetto.dev: a ``traceEvents``
+list of complete ("ph": "X") events with microsecond timestamps, plus
+metadata ("ph": "M") events naming processes and threads.  Simulated
+seconds map to trace microseconds, so one simulated second reads as
+1 s in the viewer.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Dict, List, Optional, Sequence, Union
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.span import Span, Tracer
+
+__all__ = ["chrome_trace_events", "export_chrome_trace", "export_json"]
+
+_US_PER_SIM_SECOND = 1e6
+
+
+def _event(span: Span, pid_offset: int) -> Dict:
+    event = {
+        "name": span.name,
+        "cat": span.cat or "default",
+        "ph": "X",
+        "ts": span.start * _US_PER_SIM_SECOND,
+        "dur": (span.duration or 0.0) * _US_PER_SIM_SECOND,
+        "pid": span.pid + pid_offset,
+        "tid": span.tid,
+    }
+    if span.args:
+        event["args"] = dict(span.args)
+    return event
+
+
+def chrome_trace_events(tracer: Tracer, pid_offset: int = 0,
+                        process_label: str = "run") -> List[Dict]:
+    """Convert a tracer's finished spans to trace-event dicts."""
+    events: List[Dict] = []
+    pids = sorted({s.pid for s in tracer.spans})
+    for pid in pids:
+        events.append({
+            "name": "process_name", "ph": "M", "pid": pid + pid_offset, "tid": 0,
+            "args": {"name": f"{process_label} {pid}"},
+        })
+        for tid, label in sorted(tracer.thread_labels.items()):
+            events.append({
+                "name": "thread_name", "ph": "M", "pid": pid + pid_offset,
+                "tid": tid, "args": {"name": label},
+            })
+    for span in tracer.finished:
+        events.append(_event(span, pid_offset))
+    return events
+
+
+def export_chrome_trace(
+    out: Union[str, IO],
+    tracers: Union[Tracer, Sequence[tuple]],
+) -> int:
+    """Write a Chrome trace file; returns the number of slice events.
+
+    ``tracers`` is either a single :class:`Tracer` or a sequence of
+    ``(label, tracer)`` pairs (one per figure); in the latter case pids
+    are offset so runs from different figures never collide.
+    """
+    if isinstance(tracers, Tracer):
+        tracers = [("run", tracers)]
+    events: List[Dict] = []
+    offset = 0
+    for label, tracer in tracers:
+        events.extend(chrome_trace_events(tracer, pid_offset=offset, process_label=label))
+        max_pid = max((s.pid for s in tracer.spans), default=0)
+        offset += max_pid + 1
+    doc = {"traceEvents": events, "displayTimeUnit": "ms"}
+    if isinstance(out, str):
+        with open(out, "w") as fh:
+            json.dump(doc, fh)
+    else:
+        json.dump(doc, out)
+    return sum(1 for e in events if e["ph"] == "X")
+
+
+def export_json(
+    out: Union[str, IO],
+    tracer: Optional[Tracer] = None,
+    registry: Optional[MetricsRegistry] = None,
+) -> None:
+    """Plain JSON dump: span list (with parent links) + metric snapshot."""
+    doc: Dict = {}
+    if tracer is not None:
+        doc["spans"] = [
+            {
+                "id": s.span_id,
+                "parent": s.parent_id,
+                "name": s.name,
+                "cat": s.cat,
+                "start": s.start,
+                "end": s.end,
+                "pid": s.pid,
+                "tid": s.tid,
+                **({"args": s.args} if s.args else {}),
+            }
+            for s in tracer.spans
+        ]
+    if registry is not None:
+        doc["metrics"] = registry.snapshot()
+    if isinstance(out, str):
+        with open(out, "w") as fh:
+            json.dump(doc, fh, indent=1)
+    else:
+        json.dump(doc, out, indent=1)

@@ -1,0 +1,271 @@
+"""Named instruments and the metrics registry.
+
+Instrument names follow the ``layer.operation`` convention used across
+the whole stack (``daos.rpc.count``, ``dfuse.cache.hit``,
+``ceph.osd.bytes_written``, ``sim.events_executed``); the first
+dot-separated segment is the *layer*, which is how the per-figure
+bottleneck summary groups counters.  A registry is passive: nothing in
+the simulator consults it, so attaching or detaching one never changes
+scheduling decisions, random streams, or measured bandwidths.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.errors import ConfigError
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "DEFAULT_BUCKETS"]
+
+
+#: default histogram bucket upper bounds (seconds-ish log scale)
+DEFAULT_BUCKETS = (
+    1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0, 100.0,
+)
+
+
+class Instrument:
+    """Common identity of every registered instrument."""
+
+    __slots__ = ("name", "unit", "description")
+
+    kind = "instrument"
+
+    def __init__(self, name: str, unit: str = "", description: str = ""):
+        self.name = name
+        self.unit = unit
+        self.description = description
+
+    def reset(self) -> None:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class Counter(Instrument):
+    """A monotonically increasing total (ops, bytes, events)."""
+
+    __slots__ = ("value",)
+
+    kind = "counter"
+
+    def __init__(self, name: str, unit: str = "", description: str = ""):
+        super().__init__(name, unit, description)
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ConfigError(f"counter {self.name!r} cannot decrease ({amount})")
+        self.value += amount
+
+    def reset(self) -> None:
+        self.value = 0.0
+
+
+class Gauge(Instrument):
+    """A point-in-time level; also tracks the peak ever set."""
+
+    __slots__ = ("value", "peak")
+
+    kind = "gauge"
+
+    def __init__(self, name: str, unit: str = "", description: str = ""):
+        super().__init__(name, unit, description)
+        self.value = 0.0
+        self.peak = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+        if value > self.peak:
+            self.peak = float(value)
+
+    def set_max(self, value: float) -> None:
+        """Raise the gauge to ``value`` if it is a new high-water mark."""
+        if value > self.value:
+            self.set(value)
+
+    def reset(self) -> None:
+        self.value = 0.0
+        self.peak = 0.0
+
+
+class Histogram(Instrument):
+    """A fixed-bucket distribution (durations, sizes).
+
+    ``bounds`` are the inclusive upper edges of each bucket; one
+    overflow bucket is added implicitly.  :meth:`quantile` interpolates
+    linearly within the winning bucket, which is the usual
+    Prometheus-style approximation.
+    """
+
+    __slots__ = ("bounds", "counts", "total", "count", "vmin", "vmax")
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        unit: str = "",
+        description: str = "",
+        bounds: Sequence[float] = DEFAULT_BUCKETS,
+    ):
+        super().__init__(name, unit, description)
+        ordered = sorted(float(b) for b in bounds)
+        if not ordered:
+            raise ConfigError(f"histogram {self.name!r} needs at least one bucket")
+        self.bounds: List[float] = ordered
+        self.counts: List[int] = [0] * (len(ordered) + 1)
+        self.total = 0.0
+        self.count = 0
+        self.vmin = math.inf
+        self.vmax = -math.inf
+
+    def observe(self, value: float) -> None:
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.counts[i] += 1
+                break
+        else:
+            self.counts[-1] += 1
+        self.total += value
+        self.count += 1
+        self.vmin = min(self.vmin, value)
+        self.vmax = max(self.vmax, value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Approximate q-quantile (q in [0, 1]) by bucket interpolation."""
+        if not 0 <= q <= 1:
+            raise ConfigError(f"quantile must be in [0, 1]: {q}")
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        seen = 0
+        for i, n in enumerate(self.counts):
+            if n == 0:
+                continue
+            if seen + n >= target:
+                lo = self.bounds[i - 1] if i > 0 else max(min(self.vmin, self.bounds[0]), 0.0)
+                hi = self.bounds[i] if i < len(self.bounds) else self.vmax
+                frac = (target - seen) / n
+                return lo + (hi - lo) * frac
+            seen += n
+        return self.vmax
+
+    def reset(self) -> None:
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.total = 0.0
+        self.count = 0
+        self.vmin = math.inf
+        self.vmax = -math.inf
+
+
+class MetricsRegistry:
+    """Get-or-create store of named instruments.
+
+    Names are unique across instrument kinds: asking for an existing
+    name with a different kind is a programming error and raises
+    :class:`~repro.errors.ConfigError`.  :meth:`reset` zeroes every
+    instrument but keeps the catalogue (so cached references held by
+    instrumented components stay valid across repetitions).
+    """
+
+    def __init__(self) -> None:
+        self._instruments: Dict[str, Instrument] = {}
+
+    def _get_or_create(self, cls, name: str, unit: str, description: str, **kwargs):
+        inst = self._instruments.get(name)
+        if inst is None:
+            inst = cls(name, unit=unit, description=description, **kwargs)
+            self._instruments[name] = inst
+            return inst
+        if not isinstance(inst, cls):
+            raise ConfigError(
+                f"metric {name!r} already registered as a {inst.kind}, "
+                f"not a {cls.kind}"
+            )
+        return inst
+
+    def counter(self, name: str, unit: str = "", description: str = "") -> Counter:
+        return self._get_or_create(Counter, name, unit, description)
+
+    def gauge(self, name: str, unit: str = "", description: str = "") -> Gauge:
+        return self._get_or_create(Gauge, name, unit, description)
+
+    def histogram(
+        self,
+        name: str,
+        unit: str = "",
+        description: str = "",
+        bounds: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        return self._get_or_create(Histogram, name, unit, description, bounds=bounds)
+
+    def get(self, name: str) -> Optional[Instrument]:
+        return self._instruments.get(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._instruments
+
+    def __iter__(self) -> Iterable[Instrument]:
+        return iter(self._instruments.values())
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def names(self) -> List[str]:
+        return sorted(self._instruments)
+
+    def reset(self) -> None:
+        for inst in self._instruments.values():
+            inst.reset()
+
+    # -- reporting -----------------------------------------------------------
+    def by_layer(self) -> Dict[str, List[Instrument]]:
+        """Instruments grouped by the first dot-segment of their name."""
+        out: Dict[str, List[Instrument]] = {}
+        for name in self.names():
+            layer = name.split(".", 1)[0]
+            out.setdefault(layer, []).append(self._instruments[name])
+        return out
+
+    def snapshot(self) -> Dict[str, dict]:
+        """Plain-data view of every instrument, for JSON export."""
+        out: Dict[str, dict] = {}
+        for name in self.names():
+            inst = self._instruments[name]
+            row: Dict[str, object] = {"kind": inst.kind, "unit": inst.unit}
+            if isinstance(inst, Counter):
+                row["value"] = inst.value
+            elif isinstance(inst, Gauge):
+                row["value"] = inst.value
+                row["peak"] = inst.peak
+            elif isinstance(inst, Histogram):
+                row.update(
+                    count=inst.count,
+                    sum=inst.total,
+                    mean=inst.mean,
+                    buckets=dict(zip([*map(str, inst.bounds), "+inf"], inst.counts)),
+                )
+            out[name] = row
+        return out
+
+    def render_table(self) -> str:
+        """Human-readable metrics table grouped by layer."""
+        lines = [f"{'metric':<36}{'kind':>10}  {'value':>24}  unit"]
+        lines.append("-" * len(lines[0]))
+        for layer, instruments in self.by_layer().items():
+            for inst in instruments:
+                if isinstance(inst, Counter):
+                    value = f"{inst.value:,.0f}"
+                elif isinstance(inst, Gauge):
+                    value = f"{inst.value:,.0f} (peak {inst.peak:,.0f})"
+                else:
+                    value = f"n={inst.count} mean={inst.mean:.3g}"
+                lines.append(f"{inst.name:<36}{inst.kind:>10}  {value:>24}  {inst.unit}")
+        return "\n".join(lines)

@@ -1,0 +1,59 @@
+"""The per-figure bottleneck summary: where did the bandwidth go.
+
+Rendered by the harness under each figure when observability is on
+(``--metrics`` / ``--trace``): the heaviest spans by total simulated
+time, the hottest links by mean utilisation, and per-layer byte/op
+totals — the three views the paper's analysis sections walk through
+when explaining a bandwidth number.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.obs.metrics import Counter
+
+__all__ = ["render_bottlenecks"]
+
+
+def _human(value: float, unit: str) -> str:
+    if unit == "B":
+        for scale, suffix in ((1 << 40, "TiB"), (1 << 30, "GiB"), (1 << 20, "MiB"), (1 << 10, "KiB")):
+            if value >= scale:
+                return f"{value / scale:,.1f} {suffix}"
+        return f"{value:,.0f} B"
+    return f"{value:,.0f}"
+
+
+def render_bottlenecks(obs, top: int = 8) -> str:
+    """ASCII bottleneck summary for one figure's Observability."""
+    lines: List[str] = ["bottleneck summary:"]
+    spans = obs.tracer.top_spans(top)
+    if spans:
+        lines.append("  top spans (total simulated time across all runs):")
+        for name, count, total in spans:
+            lines.append(f"    {total:12.4f}s  {name:<28} x{count}")
+    links = obs.hottest_links(top)
+    if links:
+        lines.append("  hottest links (mean utilisation):")
+        for name, util in links:
+            lines.append(f"    {util:8.1%}  {name}")
+    by_layer = obs.registry.by_layer()
+    counter_layers = {
+        layer: [i for i in instruments if isinstance(i, Counter) and i.value > 0]
+        for layer, instruments in by_layer.items()
+    }
+    if any(counter_layers.values()):
+        lines.append("  per-layer counters:")
+        for layer in sorted(counter_layers):
+            counters = counter_layers[layer]
+            if not counters:
+                continue
+            cells = ", ".join(
+                f"{c.name.split('.', 1)[1]}={_human(c.value, c.unit)}"
+                for c in counters
+            )
+            lines.append(f"    {layer:<10} {cells}")
+    if len(lines) == 1:
+        lines.append("  (no instrumentation data collected)")
+    return "\n".join(lines)

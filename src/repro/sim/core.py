@@ -332,6 +332,10 @@ class Simulator:
         self._seq: int = 0
         self._failures: list[tuple[Process, BaseException]] = []
         self._joined: set[int] = set()
+        #: optional :class:`repro.obs.MetricsRegistry`; purely passive —
+        #: the kernel writes counters into it but never reads it, so
+        #: attaching one cannot change scheduling decisions.
+        self.metrics = None
 
     # -- scheduling --------------------------------------------------------
     def schedule(self, delay: float, fn: Callable, *args: Any) -> EventHandle:
@@ -373,7 +377,11 @@ class Simulator:
         process exception that no other process observed via a join.
         """
         heap = self._heap
+        executed = 0
+        heap_peak = len(heap)
         while heap:
+            if len(heap) > heap_peak:
+                heap_peak = len(heap)
             handle = heap[0]
             if until is not None and handle.time > until:
                 self.now = until
@@ -384,10 +392,20 @@ class Simulator:
             if handle.time < self.now - 1e-12:
                 raise SimulationError("event time went backwards")
             self.now = max(self.now, handle.time)
+            executed += 1
             handle.fn(*handle.args)
         else:
             if until is not None:
                 self.now = max(self.now, until)
+        if self.metrics is not None:
+            self.metrics.counter(
+                "sim.events_executed", unit="events",
+                description="calendar events dispatched by Simulator.run",
+            ).inc(executed)
+            self.metrics.gauge(
+                "sim.heap_peak", unit="events",
+                description="largest pending-event calendar observed",
+            ).set_max(heap_peak)
         for proc, err in self._failures:
             if id(proc) not in self._joined:
                 raise err

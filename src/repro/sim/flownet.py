@@ -135,6 +135,11 @@ class FlowNetwork:
         self._completion_event: Optional[EventHandle] = None
         #: number of allocation recomputations (exposed for perf tests)
         self.reallocations = 0
+        #: observers called with each new :class:`Flow` once it is live
+        #: (zero-size flows arrive already finished).  Any number of
+        #: tracers may attach concurrently; see ``repro.sim.trace`` and
+        #: ``repro.obs``.
+        self.on_transfer: list = []
 
     # -- link management ---------------------------------------------------
     def add_link(self, name: str, capacity: float) -> Link:
@@ -206,12 +211,19 @@ class FlowNetwork:
         if size == 0:
             flow.finished_at = self.sim.now
             done.succeed(flow)
+            self._notify_transfer(flow)
             return flow
         self._sync()
         self._active.append(flow)
         self._reallocate()
         self._schedule_completion()
+        self._notify_transfer(flow)
         return flow
+
+    def _notify_transfer(self, flow: Flow) -> None:
+        if self.on_transfer:
+            for observer in tuple(self.on_transfer):
+                observer(flow)
 
     def transfer_and_wait(
         self,

@@ -33,14 +33,25 @@ class PhaseStats:
     latencies: list = field(default_factory=list)
 
     def latency_percentile(self, pct: float) -> float:
-        """Latency percentile in seconds over recorded operations."""
+        """Latency percentile in seconds over recorded operations.
+
+        Uses linear interpolation between closest ranks (the same
+        definition as ``numpy.percentile``'s default), so p50 of
+        ``[1, 2, 3, 4]`` is 2.5 rather than whichever neighbour a
+        nearest-rank rounding happened to land on.
+        """
         if not self.latencies:
             return 0.0
         if not 0 <= pct <= 100:
             raise SimulationError(f"percentile must be in [0, 100]: {pct}")
         ordered = sorted(self.latencies)
-        index = min(len(ordered) - 1, int(round(pct / 100 * (len(ordered) - 1))))
-        return ordered[index]
+        rank = pct / 100 * (len(ordered) - 1)
+        lo = int(math.floor(rank))
+        hi = int(math.ceil(rank))
+        if lo == hi:
+            return ordered[lo]
+        frac = rank - lo
+        return ordered[lo] + (ordered[hi] - ordered[lo]) * frac
 
     @property
     def mean_latency(self) -> float:

@@ -3,14 +3,16 @@
 Attach a :class:`FlowTracer` to a flow network before a run to capture
 every transfer's lifetime, then render summaries for diagnosis — which
 flows dominated wall-clock, which links ran hot, where a model change
-shifted the bottleneck.  The tracer hooks the network's public
-``transfer`` method, so no simulation code needs to know about it.
+shifted the bottleneck.  The tracer registers on the network's
+``on_transfer`` observer list, so no simulation code needs to know
+about it, any number of tracers can watch one network at once, and
+detaching one tracer never disturbs another.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from typing import Dict, List, Optional
 
 from repro.sim.flownet import Flow, FlowNetwork
 
@@ -47,37 +49,33 @@ class FlowTracer:
     def __init__(self, net: FlowNetwork):
         self.net = net
         self.events: List[FlowEvent] = []
-        self._original: Optional[Callable] = None
+        self._attached = False
 
     # -- lifecycle ---------------------------------------------------------
     def attach(self) -> "FlowTracer":
-        if self._original is not None:
-            return self
-        self._original = self.net.transfer
-
-        def traced_transfer(size, usages, demand_cap=float("inf"), name="flow"):
-            flow: Flow = self._original(size, usages, demand_cap=demand_cap, name=name)
-            event = FlowEvent(
-                name=name,
-                size=float(size),
-                started_at=flow.started_at,
-                finished_at=flow.finished_at,  # set when size == 0
-                links=[link.name for link in flow.links],
-            )
-            self.events.append(event)
-            if not flow.done.fired:
-                def on_done(_value, _exc, event=event, flow=flow):
-                    event.finished_at = flow.finished_at
-                flow.done._subscribe(self.net.sim, on_done)
-            return flow
-
-        self.net.transfer = traced_transfer
+        if not self._attached:
+            self.net.on_transfer.append(self._on_transfer)
+            self._attached = True
         return self
 
     def detach(self) -> None:
-        if self._original is not None:
-            self.net.transfer = self._original
-            self._original = None
+        if self._attached:
+            self.net.on_transfer.remove(self._on_transfer)
+            self._attached = False
+
+    def _on_transfer(self, flow: Flow) -> None:
+        event = FlowEvent(
+            name=flow.name,
+            size=flow.size,
+            started_at=flow.started_at,
+            finished_at=flow.finished_at,  # set when size == 0
+            links=[link.name for link in flow.links],
+        )
+        self.events.append(event)
+        if not flow.done.fired:
+            def on_done(_value, _exc, event=event, flow=flow):
+                event.finished_at = flow.finished_at
+            flow.done._subscribe(self.net.sim, on_done)
 
     def __enter__(self) -> "FlowTracer":
         return self.attach()

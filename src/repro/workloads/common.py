@@ -110,6 +110,15 @@ class PhasedRunner:
         self.world = RankWorld(env.cluster, cfg.n_client_nodes, cfg.ppn)
         parties = self.world.size if cfg.mode == "exact" else cfg.n_client_nodes
         self.phase_barrier = self.world.barrier(parties, name="phase")
+        # Observability (dormant when the cluster carries none).
+        self._obs = env.cluster.obs
+        if self._obs is not None:
+            reg = self._obs.registry
+            self._m_ops = reg.counter(
+                "workload.ops", unit="ops",
+                description="benchmark operations completed (both phases)",
+            )
+            self._m_bytes = reg.counter("workload.bytes", unit="B")
 
     # -- per-benchmark hooks -------------------------------------------------
     def setup(self, rank):
@@ -144,18 +153,31 @@ class PhasedRunner:
 
     def _rank_main(self, rank):
         cfg = self.cfg
+        obs = self._obs
+        tid = obs.node_tid(rank.node) if obs is not None else 0
         state = yield from self.setup(rank)
         yield self.phase_barrier.wait()
         for phase in self.phases():
             op = self.write_op if phase == "write" else self.read_op
+            span = None
+            if obs is not None:
+                span = obs.tracer.begin(
+                    f"workload.{phase}", cat="workload", tid=tid,
+                    args={"rank": rank.rank},
+                )
             for i in range(cfg.ops_per_process):
                 t0 = self.sim.now
                 yield from op(state, i)
                 self.recorder.record(phase, t0, self.sim.now, cfg.op_size)
+                if obs is not None:
+                    self._m_ops.inc()
+                    self._m_bytes.inc(cfg.op_size)
             t0 = self.sim.now
             yield from self.end_phase(state, phase)
             if self.sim.now > t0:
                 self.recorder.record(phase, t0, self.sim.now, 0, ops=0)
+            if span is not None:
+                obs.tracer.finish(span)
             yield self.phase_barrier.wait()
 
     def setup_group(self, node, ranks):
@@ -171,9 +193,17 @@ class PhasedRunner:
 
     def _group_main(self, node, ranks):
         cfg = self.cfg
+        obs = self._obs
+        tid = obs.node_tid(node) if obs is not None else 0
         states = yield from self.setup_group(node, ranks)
         yield self.phase_barrier.wait()
         for phase in self.phases():
+            span = None
+            if obs is not None:
+                span = obs.tracer.begin(
+                    f"workload.{phase}", cat="workload", tid=tid,
+                    args={"ranks": len(ranks)},
+                )
             for batch in range(cfg.batches):
                 ops = cfg.ops_in_batch(batch)
                 t0 = self.sim.now
@@ -183,6 +213,11 @@ class PhasedRunner:
                     phase, t0, self.sim.now, len(ranks) * ops * cfg.op_size,
                     ops=len(ranks) * ops,
                 )
+                if obs is not None:
+                    self._m_ops.inc(len(ranks) * ops)
+                    self._m_bytes.inc(len(ranks) * ops * cfg.op_size)
+            if span is not None:
+                obs.tracer.finish(span)
             yield self.phase_barrier.wait()
 
     def run(self):

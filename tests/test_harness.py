@@ -177,6 +177,54 @@ def test_cli_markdown_output(tmp_path, capsys):
     assert "### HW" in md_path.read_text()
 
 
+def test_cli_trace_and_metrics_flags(tmp_path, capsys):
+    """--trace writes valid Chrome trace-event JSON; --metrics prints the
+    instrument table; the figure output gains a bottleneck summary."""
+    import json
+
+    from repro.harness.cli import main
+
+    trace_path = tmp_path / "hw.json"
+    rc = main(["HW", "--trace", str(trace_path), "--metrics"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "bottleneck summary:" in out
+    assert "sim.events_executed" in out
+    assert f"trace events written to {trace_path}" in out
+
+    doc = json.loads(trace_path.read_text())
+    assert "traceEvents" in doc
+    slices = [e for e in doc["traceEvents"] if e.get("ph") == "X"]
+    assert slices
+    for event in slices:  # trace-event schema: chrome://tracing essentials
+        assert isinstance(event["name"], str) and event["name"]
+        assert isinstance(event["ts"], (int, float))
+        assert isinstance(event["dur"], (int, float)) and event["dur"] >= 0
+        assert isinstance(event["pid"], int)
+        assert isinstance(event["tid"], int)
+    metas = [e for e in doc["traceEvents"] if e.get("ph") == "M"]
+    assert any(m["name"] == "process_name" for m in metas)
+    assert {e["cat"] for e in slices} >= {"sim", "flownet"}
+
+
+def test_cli_trace_multiple_figures_offsets_pids(tmp_path, capsys):
+    import json
+
+    from repro.harness.cli import main
+
+    trace_path = tmp_path / "two.json"
+    rc = main(["HW", "--trace", str(trace_path)])
+    assert rc == 0
+    capsys.readouterr()
+    doc = json.loads(trace_path.read_text())
+    labels = {
+        e["args"]["name"]
+        for e in doc["traceEvents"]
+        if e.get("ph") == "M" and e["name"] == "process_name"
+    }
+    assert any(label.startswith("HW") for label in labels)
+
+
 # -- client-configuration optimisation (paper Sec. II methodology) ---------------
 
 

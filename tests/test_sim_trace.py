@@ -78,6 +78,46 @@ def test_tracer_context_manager():
     assert net.transfer.__name__ != "traced_transfer"
 
 
+def test_two_tracers_attach_concurrently():
+    """The on_transfer callback API allows several tracers at once, and
+    detaching one never disturbs the other (impossible with the old
+    monkey-patching design, where detach could restore a stale method)."""
+    sim = Simulator()
+    net = FlowNetwork(sim)
+    link = net.add_link("pipe", 10.0)
+    first = FlowTracer(net).attach()
+    second = FlowTracer(net).attach()
+
+    def driver(name):
+        flow = net.transfer(10.0, [(link, 1.0)], name=name)
+        yield flow.done
+
+    sim.process(driver("one"))
+    sim.run()
+    assert [e.name for e in first.events] == ["one"]
+    assert [e.name for e in second.events] == ["one"]
+
+    first.detach()
+    sim.process(driver("two"))
+    sim.run()
+    assert [e.name for e in first.events] == ["one"]
+    assert [e.name for e in second.events] == ["one", "two"]
+    second.detach()
+    assert net.on_transfer == []
+
+
+def test_tracer_attach_and_detach_idempotent():
+    sim = Simulator()
+    net = FlowNetwork(sim)
+    tracer = FlowTracer(net)
+    tracer.attach()
+    tracer.attach()
+    assert len(net.on_transfer) == 1
+    tracer.detach()
+    tracer.detach()
+    assert net.on_transfer == []
+
+
 def test_tracer_zero_size_flow():
     sim = Simulator()
     net = FlowNetwork(sim)

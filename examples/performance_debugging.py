@@ -6,16 +6,20 @@ workflow a user follows when a number looks off:
 
 1. run a workload with a :class:`~repro.sim.trace.FlowTracer` attached;
 2. print the link-utilisation report ("what ran hot?");
-3. sweep client configurations with the harness optimiser (the paper's
+3. attribute the elapsed time to resources with the critical-path
+   analyzer and watch the saturation unfold on a timeline;
+4. sweep client configurations with the harness optimiser (the paper's
    own methodology, Section II) to find where the curve saturates;
-4. confirm against the analytic roofline from ``repro.analysis``.
+5. confirm against the analytic roofline from ``repro.analysis``.
 
 Run:  python examples/performance_debugging.py
 """
 
+import repro.obs as obs_mod
 from repro.analysis import efficiency, write_roofline
-from repro.harness import PointSpec, find_optimal_clients
+from repro.harness import PointSpec, find_optimal_clients, run_point
 from repro.hardware import Cluster
+from repro.obs.timeline import render_timeline
 from repro.sim.trace import FlowTracer, utilization_report
 from repro.units import GiB
 from repro.workloads.common import DaosEnv, WorkloadConfig
@@ -37,8 +41,24 @@ def traced_run() -> None:
     print(utilization_report(env.cluster.net, elapsed=env.cluster.sim.now, top=6))
 
 
+def critical_path() -> None:
+    print("\n== 3. attribute the elapsed time (critical path + timeline) ==")
+    o = obs_mod.Observability(timeline=obs_mod.TimelineConfig(interval=0.01))
+    base = PointSpec(
+        workload="ior", store="daos", api="DAOS",
+        n_servers=N_SERVERS, n_client_nodes=4, ppn=16, ops_per_process=48,
+    )
+    run_point(base, reps=1, obs=o)
+    o.finalize()
+    print(obs_mod.render_critical_path(o, per_run=True))
+    print()
+    print(render_timeline(o.timelines[0]))
+    print("(the write window pins the server SSD channel — exactly the "
+          "paper's 3.86 GiB/s/server roofline argument)")
+
+
 def optimise_clients() -> None:
-    print("\n== 3. sweep client configurations (paper Sec. II) ==")
+    print("\n== 4. sweep client configurations (paper Sec. II) ==")
     base = PointSpec(
         workload="ior", store="daos", api="DAOS",
         n_servers=N_SERVERS, ops_per_process=48,
@@ -48,13 +68,11 @@ def optimise_clients() -> None:
 
 
 def roofline_check() -> None:
-    print("\n== 4. compare with the analytic roofline ==")
+    print("\n== 5. compare with the analytic roofline ==")
     base = PointSpec(
         workload="ior", store="daos", api="DAOS",
         n_servers=N_SERVERS, n_client_nodes=4, ppn=32, ops_per_process=48,
     )
-    from repro.harness import run_point
-
     point = run_point(base, reps=3)
     roof = write_roofline(N_SERVERS)
     eff = efficiency(point.write_bw[0], roof)
@@ -65,5 +83,6 @@ def roofline_check() -> None:
 
 if __name__ == "__main__":
     traced_run()
+    critical_path()
     optimise_clients()
     roofline_check()

@@ -1,0 +1,159 @@
+"""Benchmark-regression pipeline: BENCH_<git-sha>.json documents.
+
+Runs every figure at quick scale and records, per figure:
+
+- the **modelled** results — every series' means/stds and the shape-check
+  outcomes.  These must never drift: the model is deterministic per
+  seed, so any change here is a semantic change to the simulation and
+  ``tools/bench_compare.py`` flags it at any magnitude;
+- the **host** cost — wall-clock seconds and simulator events executed,
+  hence events/second.  This is the ROADMAP north-star ("as fast as the
+  hardware allows"): a >10% wall-clock regression between two BENCH
+  files fails the comparison.
+
+The document is schema-versioned so future PRs can evolve the layout
+without breaking the comparator::
+
+    python -m repro.harness.bench --out BENCH_abc1234.json
+    python tools/bench_compare.py BENCH_old.json BENCH_new.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import time
+from typing import Dict, List, Optional, Sequence
+
+import repro.obs as obs_mod
+from repro.harness.figures import FIGURES, build_figure
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "git_sha",
+    "bench_filename",
+    "figure_record",
+    "collect_bench",
+    "write_bench",
+    "main",
+]
+
+#: schema version of the BENCH json document
+BENCH_SCHEMA = 1
+
+
+def git_sha(short: bool = True) -> str:
+    """The repo's HEAD commit (short form), or ``"unknown"`` outside git."""
+    cmd = ["git", "rev-parse", "--short" if short else "--verify", "HEAD"]
+    try:
+        out = subprocess.run(
+            cmd, capture_output=True, text=True, timeout=10, check=True
+        )
+        return out.stdout.strip() or "unknown"
+    except Exception:
+        return "unknown"
+
+
+def bench_filename(sha: Optional[str] = None) -> str:
+    return f"BENCH_{sha or git_sha()}.json"
+
+
+def figure_record(result, wall_seconds: float, events: int) -> Dict:
+    """One figure's BENCH entry from its result + host-side cost."""
+    series: Dict[str, Dict] = {}
+    for panel, rows in sorted(result.panels.items()):
+        for s in rows:
+            series[f"{panel}/{s.label}"] = {
+                "xs": list(s.xs),
+                "means": list(s.means),
+                "stds": list(s.stds),
+                "unit": s.unit,
+            }
+    return {
+        "title": result.title,
+        "wall_seconds": wall_seconds,
+        "events": events,
+        "events_per_second": events / wall_seconds if wall_seconds > 0 else 0.0,
+        "checks_passed": sum(1 for c in result.checks if c.passed),
+        "checks_total": len(result.checks),
+        "series": series,
+    }
+
+
+def collect_bench(
+    figures: Optional[Sequence[str]] = None,
+    scale: str = "quick",
+    sha: Optional[str] = None,
+    verbose: bool = False,
+) -> Dict:
+    """Run the figures and assemble the full BENCH document."""
+    fig_ids = list(figures) if figures else sorted(FIGURES)
+    doc: Dict = {
+        "schema": BENCH_SCHEMA,
+        "git_sha": sha or git_sha(),
+        "scale": scale,
+        "figures": {},
+    }
+    for fig_id in fig_ids:
+        # A fresh Observability per figure isolates the event counter;
+        # instrumentation never changes modelled numbers, so the recorded
+        # series are identical to an unobserved run.
+        obs = obs_mod.Observability()
+        t0 = time.perf_counter()
+        with obs_mod.activated(obs):
+            result = build_figure(fig_id, scale=scale)
+        wall = time.perf_counter() - t0
+        obs.finalize()
+        events = int(obs.registry.counter("sim.events_executed").value)
+        doc["figures"][fig_id] = figure_record(result, wall, events)
+        if verbose:
+            rec = doc["figures"][fig_id]
+            print(
+                f"{fig_id:>5}: {wall:7.2f}s  {events:>9} events  "
+                f"{rec['events_per_second']:>10.0f} ev/s  "
+                f"checks {rec['checks_passed']}/{rec['checks_total']}"
+            )
+    return doc
+
+
+def write_bench(doc: Dict, out: str) -> None:
+    with open(out, "w") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.harness.bench",
+        description="Run every figure and record modelled results + host cost",
+    )
+    parser.add_argument(
+        "--out", metavar="PATH", default=None,
+        help="output file (default: BENCH_<git-sha>.json)",
+    )
+    parser.add_argument(
+        "--scale", choices=("quick", "full"), default="quick",
+        help="figure scale (default: quick)",
+    )
+    parser.add_argument(
+        "--figures", metavar="IDS", default=None,
+        help=f"comma-separated figure ids (default: all of {sorted(FIGURES)})",
+    )
+    args = parser.parse_args(argv)
+    figures = args.figures.split(",") if args.figures else None
+    if figures:
+        unknown = [f for f in figures if f not in FIGURES]
+        if unknown:
+            parser.error(f"unknown figure(s) {unknown}; known: {sorted(FIGURES)}")
+    sha = git_sha()
+    doc = collect_bench(figures=figures, scale=args.scale, sha=sha, verbose=True)
+    out = args.out or bench_filename(sha)
+    write_bench(doc, out)
+    total = sum(rec["wall_seconds"] for rec in doc["figures"].values())
+    print(f"{len(doc['figures'])} figure(s), {total:.1f}s total -> {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -6,17 +6,25 @@ Usage::
     python -m repro.harness.cli F5 --scale full
     python -m repro.harness.cli all --markdown results.md
     python -m repro.harness.cli F1 --trace f1.json --metrics
+    python -m repro.harness.cli F1 --timeline f1_timeline.csv
+    python -m repro.harness.cli all --bench BENCH_new.json
 
 ``--trace`` writes a Chrome trace-event file (open it at
 https://ui.perfetto.dev or chrome://tracing); ``--metrics`` prints the
-per-layer instrument table.  Either flag activates the observability
-layer for the whole build; instrumentation never changes the simulated
-numbers (see docs/OBSERVABILITY.md).
+per-layer instrument table and ``--metrics-json`` dumps it machine
+readably.  ``--timeline`` samples link utilisation / in-flight flows at
+a fixed sim-time interval and exports the series (``.csv`` long format,
+anything else JSON).  ``--bench`` records modelled results + host
+wall-clock per figure into a BENCH json for ``tools/bench_compare.py``.
+Each flag activates the observability layer for the whole build;
+instrumentation never changes the simulated numbers (see
+docs/OBSERVABILITY.md).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 
@@ -51,35 +59,99 @@ def main(argv=None) -> int:
         "--metrics", action="store_true",
         help="print the per-layer metrics table after each figure",
     )
+    parser.add_argument(
+        "--metrics-json", metavar="PATH",
+        help="dump every figure's instrument snapshot to this JSON file",
+    )
+    parser.add_argument(
+        "--timeline", metavar="PATH",
+        help="sample per-run time series (link utilisation, in-flight "
+             "flows, gauges) and export them; '.csv' suffix selects the "
+             "long CSV format, anything else JSON",
+    )
+    parser.add_argument(
+        "--timeline-interval", type=float, default=0.02, metavar="SECONDS",
+        help="sim-time sampling interval for --timeline (default: 0.02)",
+    )
+    parser.add_argument(
+        "--bench", metavar="PATH",
+        help="record modelled results + host wall-clock per figure into "
+             "a BENCH json (see tools/bench_compare.py)",
+    )
     args = parser.parse_args(argv)
 
     fig_ids = sorted(FIGURES) if args.figure == "all" else [args.figure]
     if any(f not in FIGURES for f in fig_ids):
         parser.error(f"unknown figure {args.figure!r}; known: {sorted(FIGURES)}")
 
-    observe = bool(args.trace) or args.metrics
+    observe = (
+        bool(args.trace) or args.metrics or bool(args.metrics_json)
+        or bool(args.timeline) or bool(args.bench)
+    )
+    timeline_cfg = (
+        obs_mod.TimelineConfig(interval=args.timeline_interval)
+        if args.timeline else None
+    )
     md_blocks = []
     traced = []
+    timelines = []
+    metrics_doc = {}
+    bench_doc = None
+    if args.bench:
+        from repro.harness.bench import BENCH_SCHEMA, figure_record, git_sha
+
+        bench_doc = {
+            "schema": BENCH_SCHEMA,
+            "git_sha": git_sha(),
+            "scale": args.scale,
+            "figures": {},
+        }
     failures = 0
     for fig_id in fig_ids:
-        obs = obs_mod.Observability() if observe else None
-        t0 = time.time()
+        obs = (
+            obs_mod.Observability(timeline=timeline_cfg) if observe else None
+        )
+        t0 = time.perf_counter()
         with obs_mod.activated(obs):
             result = build_figure(fig_id, scale=args.scale)
+        wall = time.perf_counter() - t0
         if obs is not None:
             obs.finalize()
         print(render_figure(result, obs=obs))
         if args.metrics and obs is not None:
             print()
             print(obs.registry.render_table())
-        print(f"(built in {time.time() - t0:.1f}s at scale={args.scale})\n")
+        print(f"(built in {wall:.1f}s at scale={args.scale})\n")
         md_blocks.append(render_markdown(result))
         failures += sum(1 for c in result.checks if not c.passed)
         if obs is not None:
             traced.append((fig_id, obs.tracer))
+            timelines.extend(obs.timelines)
+            if args.metrics_json:
+                metrics_doc[fig_id] = obs.registry.snapshot()
+            if bench_doc is not None:
+                events = int(obs.registry.counter("sim.events_executed").value)
+                bench_doc["figures"][fig_id] = figure_record(result, wall, events)
     if args.trace:
         n = obs_mod.export_chrome_trace(args.trace, traced)
         print(f"{n} trace events written to {args.trace}")
+    if args.timeline:
+        if args.timeline.endswith(".csv"):
+            rows = obs_mod.export_timelines_csv(args.timeline, timelines)
+            print(f"{rows} timeline rows written to {args.timeline}")
+        else:
+            obs_mod.export_timelines_json(args.timeline, timelines)
+            print(f"{len(timelines)} timeline run(s) written to {args.timeline}")
+    if args.metrics_json:
+        with open(args.metrics_json, "w") as fh:
+            json.dump(metrics_doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"metrics snapshot written to {args.metrics_json}")
+    if bench_doc is not None:
+        from repro.harness.bench import write_bench
+
+        write_bench(bench_doc, args.bench)
+        print(f"bench record written to {args.bench}")
     if args.markdown:
         with open(args.markdown, "a") as fh:
             fh.write("\n\n".join(md_blocks) + "\n")

@@ -6,7 +6,9 @@ from __future__ import annotations
 from typing import List
 
 from repro.harness.figures import FigureResult, Series
+from repro.obs.critpath import render_critical_path
 from repro.obs.report import render_bottlenecks
+from repro.obs.timeline import render_timeline
 
 __all__ = ["render_figure", "render_markdown"]
 
@@ -56,6 +58,17 @@ def render_figure(result: FigureResult, obs=None) -> str:
     if obs is not None:
         lines.append("")
         lines.append(render_bottlenecks(obs))
+        critpath = render_critical_path(obs)
+        if critpath:
+            lines.append("")
+            lines.append(critpath)
+        if obs.timelines:
+            # One sparkline block suffices: show the busiest run (most
+            # samples), which is where the saturation shape lives.
+            busiest = max(obs.timelines, key=len)
+            if len(busiest):
+                lines.append("")
+                lines.append(render_timeline(busiest))
     return "\n".join(lines)
 
 

@@ -30,9 +30,23 @@ from __future__ import annotations
 from contextlib import contextmanager
 from typing import Dict, List, Optional
 
+from repro.obs.critpath import (
+    analyze_critical_path,
+    classify_constraint,
+    render_critical_path,
+)
 from repro.obs.export import chrome_trace_events, export_chrome_trace, export_json
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.span import TID_FLOWNET, TID_NODE_BASE, TID_SIM, Span, Tracer
+from repro.obs.timeline import (
+    Timeline,
+    TimelineConfig,
+    TimelineSampler,
+    export_timelines_csv,
+    export_timelines_json,
+    render_timeline,
+    sparkline,
+)
 
 __all__ = [
     "Observability",
@@ -47,6 +61,16 @@ __all__ = [
     "chrome_trace_events",
     "export_chrome_trace",
     "export_json",
+    "Timeline",
+    "TimelineConfig",
+    "TimelineSampler",
+    "export_timelines_csv",
+    "export_timelines_json",
+    "render_timeline",
+    "sparkline",
+    "analyze_critical_path",
+    "classify_constraint",
+    "render_critical_path",
     "TID_SIM",
     "TID_FLOWNET",
     "TID_NODE_BASE",
@@ -70,12 +94,18 @@ class Observability:
         self,
         registry: Optional[MetricsRegistry] = None,
         tracer: Optional[Tracer] = None,
+        timeline: Optional[TimelineConfig] = None,
     ):
         self.registry = registry or MetricsRegistry()
         self.tracer = tracer or Tracer()
         self.run_index = -1
         #: link name -> [busy integral, capacity * elapsed] across runs
         self.link_stats: Dict[str, List[float]] = {}
+        #: when set, every bound cluster gets a TimelineSampler and its
+        #: per-run series accumulate in :attr:`timelines`
+        self.timeline_config = timeline
+        self.timelines: List[Timeline] = []
+        self._sampler: Optional[TimelineSampler] = None
         self._bound = None
         self._finalized = True
 
@@ -88,6 +118,14 @@ class Observability:
         self.tracer.set_context(pid=self.run_index, clock=lambda: sim.now)
         sim.metrics = self.registry
         self._hook_flownet(cluster.net)
+        if self.timeline_config is not None:
+            sampler = TimelineSampler(
+                cluster, self.timeline_config,
+                registry=self.registry, run_index=self.run_index,
+            )
+            sim.time_probe = sampler.on_advance
+            self.timelines.append(sampler.timeline)
+            self._sampler = sampler
         self._bound = cluster
         self._finalized = False
 
@@ -101,6 +139,14 @@ class Observability:
             "flownet.flow.duration", unit="s", bounds=_FLOW_BUCKETS,
             description="lifetime of completed flows",
         )
+        # pure bookkeeping in the network: records which constraint bounds
+        # each flow; never changes rates, ordering, or modelled results
+        net.track_binding = True
+
+        def _flow_args(flow):
+            if flow.bound_time:
+                return {"bytes": flow.size, "binding": dict(flow.bound_time)}
+            return {"bytes": flow.size}
 
         def on_transfer(flow):
             started.inc()
@@ -109,7 +155,8 @@ class Observability:
                 completed.inc()
                 durations.observe(0.0)
                 tracer.record(flow.name, "flownet", flow.started_at,
-                              flow.finished_at, tid=TID_FLOWNET)
+                              flow.finished_at, tid=TID_FLOWNET,
+                              args=_flow_args(flow))
                 return
 
             def on_done(_value, _exc, flow=flow):
@@ -118,7 +165,8 @@ class Observability:
                 completed.inc()
                 durations.observe(flow.finished_at - flow.started_at)
                 tracer.record(flow.name, "flownet", flow.started_at,
-                              flow.finished_at, tid=TID_FLOWNET)
+                              flow.finished_at, tid=TID_FLOWNET,
+                              args=_flow_args(flow))
 
             flow.done._subscribe(net.sim, on_done)
 
@@ -141,6 +189,8 @@ class Observability:
                 return
             self._finalized = True
         elapsed = cluster.sim.now
+        if self._sampler is not None and self._sampler.net is cluster.net:
+            self._sampler.finish(elapsed)
         self.tracer.record("sim.run", "sim", 0.0, elapsed, tid=TID_SIM)
         if elapsed > 0:
             for link in cluster.net.links:
@@ -168,11 +218,19 @@ class Observability:
         return rows[:top]
 
     def reset(self) -> None:
-        """Zero metrics and drop spans/link stats; keep instrument
-        catalogue and cached references valid."""
+        """Return to the freshly constructed state: zero metrics, drop
+        spans/link stats/timelines, and re-arm the binding machinery so
+        the next bound cluster starts a clean trace at pid 0.  Keeps the
+        instrument catalogue, so cached instrument references stay
+        valid."""
         self.registry.reset()
         self.tracer.clear()
         self.link_stats.clear()
+        self.timelines.clear()
+        self.run_index = -1
+        self._sampler = None
+        self._bound = None
+        self._finalized = True
 
 
 # ---------------------------------------------------------------- active context

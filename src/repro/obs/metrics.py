@@ -257,7 +257,7 @@ class MetricsRegistry:
 
     def render_table(self) -> str:
         """Human-readable metrics table grouped by layer."""
-        lines = [f"{'metric':<36}{'kind':>10}  {'value':>24}  unit"]
+        lines = [f"{'metric':<36}{'kind':>10}  {'value':>42}  unit"]
         lines.append("-" * len(lines[0]))
         for layer, instruments in self.by_layer().items():
             for inst in instruments:
@@ -266,6 +266,10 @@ class MetricsRegistry:
                 elif isinstance(inst, Gauge):
                     value = f"{inst.value:,.0f} (peak {inst.peak:,.0f})"
                 else:
-                    value = f"n={inst.count} mean={inst.mean:.3g}"
-                lines.append(f"{inst.name:<36}{inst.kind:>10}  {value:>24}  {inst.unit}")
+                    value = (
+                        f"n={inst.count} mean={inst.mean:.3g} "
+                        f"p50={inst.quantile(0.5):.3g} "
+                        f"p99={inst.quantile(0.99):.3g}"
+                    )
+                lines.append(f"{inst.name:<36}{inst.kind:>10}  {value:>42}  {inst.unit}")
         return "\n".join(lines)

@@ -336,6 +336,16 @@ class Simulator:
         #: the kernel writes counters into it but never reads it, so
         #: attaching one cannot change scheduling decisions.
         self.metrics = None
+        #: optional callable ``probe(t_new)`` invoked whenever the clock
+        #: is about to advance to ``t_new`` (strictly greater than
+        #: ``now``), *before* the event at ``t_new`` executes.  Between
+        #: two event executions no simulation state changes, so a probe
+        #: observes exact piecewise-constant state (flow rates, queue
+        #: depths) at any instant in ``(now, t_new]``.  Probes never
+        #: schedule events and never mutate simulation state, so
+        #: attaching one cannot change modelled results (the
+        #: :class:`repro.obs.timeline.TimelineSampler` rides this hook).
+        self.time_probe = None
 
     # -- scheduling --------------------------------------------------------
     def schedule(self, delay: float, fn: Callable, *args: Any) -> EventHandle:
@@ -379,11 +389,14 @@ class Simulator:
         heap = self._heap
         executed = 0
         heap_peak = len(heap)
+        probe = self.time_probe
         while heap:
             if len(heap) > heap_peak:
                 heap_peak = len(heap)
             handle = heap[0]
             if until is not None and handle.time > until:
+                if probe is not None and until > self.now:
+                    probe(until)
                 self.now = until
                 break
             heapq.heappop(heap)
@@ -391,6 +404,8 @@ class Simulator:
                 continue
             if handle.time < self.now - 1e-12:
                 raise SimulationError("event time went backwards")
+            if probe is not None and handle.time > self.now:
+                probe(handle.time)
             self.now = max(self.now, handle.time)
             executed += 1
             handle.fn(*handle.args)

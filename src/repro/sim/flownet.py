@@ -90,6 +90,8 @@ class Flow:
         "done",
         "started_at",
         "finished_at",
+        "binding",
+        "bound_time",
     )
 
     def __init__(
@@ -112,6 +114,14 @@ class Flow:
         self.done = done
         self.started_at = started_at
         self.finished_at: Optional[float] = None
+        #: the constraint currently limiting this flow's rate: a
+        #: :class:`Link`, the string ``"cap"`` (demand cap), or None.
+        #: Maintained only while the owning network has
+        #: ``track_binding`` enabled.
+        self.binding = None
+        #: constraint name -> seconds the flow spent limited by it
+        #: (allocated lazily when the network tracks binding)
+        self.bound_time: Optional[dict] = None
 
     @property
     def progress_fraction(self) -> float:
@@ -140,6 +150,13 @@ class FlowNetwork:
         #: tracers may attach concurrently; see ``repro.sim.trace`` and
         #: ``repro.obs``.
         self.on_transfer: list = []
+        #: when True, every flow records which constraint (link or demand
+        #: cap) bounds its rate and for how long (``Flow.binding`` /
+        #: ``Flow.bound_time``).  Pure bookkeeping over quantities the
+        #: allocator already computes: enabling it never changes rates,
+        #: event ordering, or modelled bandwidths.  Enabled by
+        #: ``repro.obs`` for critical-path attribution.
+        self.track_binding = False
 
     # -- link management ---------------------------------------------------
     def add_link(self, name: str, capacity: float) -> Link:
@@ -208,6 +225,8 @@ class FlowNetwork:
             )
         done = self.sim.signal(name=f"{name}.done")
         flow = Flow(name, size, links, weights, demand_cap, done, started_at=self.sim.now)
+        if self.track_binding:
+            flow.bound_time = {}
         if size == 0:
             flow.finished_at = self.sim.now
             done.succeed(flow)
@@ -252,11 +271,17 @@ class FlowNetwork:
         now = self.sim.now
         dt = now - self._last_advance
         if dt > 0 and self._active:
+            track = self.track_binding
             for flow in self._active:
                 if flow.rate > 0:
                     flow.remaining = max(0.0, flow.remaining - flow.rate * dt)
                     for link, weight in zip(flow.links, flow.weights):
                         link.busy_integral += flow.rate * weight * dt
+                if track and flow.bound_time is not None:
+                    binding = flow.binding
+                    if binding is not None:
+                        key = binding if isinstance(binding, str) else binding.name
+                        flow.bound_time[key] = flow.bound_time.get(key, 0.0) + dt
         self._last_advance = now
 
     def _reallocate(self) -> None:
@@ -330,6 +355,28 @@ class FlowNetwork:
             unfrozen &= ~newly
         for flow, r in zip(flows, rate):
             flow.rate = float(r)
+        if self.track_binding:
+            self._assign_bindings(flows, rate, cap_left)
+
+    def _assign_bindings(self, flows: list[Flow], rate, cap_left) -> None:
+        """Record, per flow, the constraint that bounds its current rate:
+        its demand cap, or the most-depleted link it uses (the one the
+        progressive filling froze it on).  Reads only quantities the
+        allocator computed; never feeds back into allocation."""
+        for fi, flow in enumerate(flows):
+            if flow.bound_time is None:
+                continue
+            if math.isfinite(flow.demand_cap) and rate[fi] >= flow.demand_cap - 1e-9:
+                flow.binding = "cap"
+                continue
+            best = None
+            best_frac = _INF
+            for link in flow.links:
+                frac = cap_left[link.index] / link.capacity
+                if frac < best_frac:
+                    best_frac = frac
+                    best = link
+            flow.binding = best
 
     def _schedule_completion(self) -> None:
         if self._completion_event is not None:

@@ -1,0 +1,140 @@
+"""Benchmark pipeline: BENCH document collection and the comparator's
+regression verdicts (identical files pass; drift and slowdowns fail)."""
+
+import copy
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.harness.bench import (
+    BENCH_SCHEMA,
+    bench_filename,
+    collect_bench,
+    figure_record,
+    write_bench,
+)
+
+TOOL = Path(__file__).resolve().parent.parent / "tools" / "bench_compare.py"
+
+
+def run_compare(*argv):
+    proc = subprocess.run(
+        [sys.executable, str(TOOL), *map(str, argv)],
+        capture_output=True, text=True, timeout=120,
+    )
+    return proc.returncode, proc.stdout + proc.stderr
+
+
+# -- collection ------------------------------------------------------------------
+
+
+def test_collect_bench_hw_figure():
+    doc = collect_bench(figures=["HW"], sha="testsha")
+    assert doc["schema"] == BENCH_SCHEMA
+    assert doc["git_sha"] == "testsha"
+    assert doc["scale"] == "quick"
+    rec = doc["figures"]["HW"]
+    assert rec["wall_seconds"] > 0
+    assert rec["events"] > 0
+    assert rec["events_per_second"] > 0
+    assert rec["checks_total"] >= 1
+    assert rec["series"], "expected at least one recorded series"
+    for series in rec["series"].values():
+        assert len(series["xs"]) == len(series["means"]) == len(series["stds"])
+    json.dumps(doc)  # JSON-safe
+
+
+def test_bench_filename_uses_sha():
+    assert bench_filename("abc1234") == "BENCH_abc1234.json"
+
+
+def test_figure_record_flattens_panels():
+    class S:
+        def __init__(self, label):
+            self.label = label
+            self.xs, self.means, self.stds = [1.0], [2.0], [0.0]
+            self.unit = "GiB/s"
+
+    class R:
+        title = "t"
+        panels = {"write": [S("a")], "read": [S("b")]}
+        checks = []
+
+    rec = figure_record(R(), wall_seconds=2.0, events=100)
+    assert set(rec["series"]) == {"write/a", "read/b"}
+    assert rec["events_per_second"] == pytest.approx(50.0)
+
+
+# -- comparator ------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def bench_doc():
+    return collect_bench(figures=["HW"], sha="base")
+
+
+def test_identical_files_pass(tmp_path, bench_doc):
+    a = tmp_path / "a.json"
+    b = tmp_path / "b.json"
+    write_bench(bench_doc, str(a))
+    write_bench(bench_doc, str(b))
+    code, out = run_compare(a, b)
+    assert code == 0, out
+    assert "no regressions" in out
+
+
+def test_wall_clock_regression_fails(tmp_path, bench_doc):
+    slow = copy.deepcopy(bench_doc)
+    for rec in slow["figures"].values():
+        rec["wall_seconds"] *= 2.0
+    a = tmp_path / "a.json"
+    b = tmp_path / "b.json"
+    write_bench(bench_doc, str(a))
+    write_bench(slow, str(b))
+    code, out = run_compare(a, b)
+    assert code == 1
+    assert "wall-clock regression" in out
+    # a higher tolerance lets the same diff pass
+    code, out = run_compare(a, b, "--wall-tolerance", "2.0")
+    assert code == 0, out
+
+
+def test_modelled_drift_fails_at_any_magnitude(tmp_path, bench_doc):
+    drifted = copy.deepcopy(bench_doc)
+    rec = next(iter(drifted["figures"].values()))
+    name = next(iter(rec["series"]))
+    rec["series"][name]["means"][0] *= 1.0 + 1e-6  # far below 10%
+    a = tmp_path / "a.json"
+    b = tmp_path / "b.json"
+    write_bench(bench_doc, str(a))
+    write_bench(drifted, str(b))
+    code, out = run_compare(a, b)
+    assert code == 1
+    assert "modelled drift" in out
+
+
+def test_missing_figure_fails(tmp_path, bench_doc):
+    pruned = copy.deepcopy(bench_doc)
+    pruned["figures"] = {}
+    a = tmp_path / "a.json"
+    b = tmp_path / "b.json"
+    write_bench(bench_doc, str(a))
+    write_bench(pruned, str(b))
+    code, out = run_compare(a, b)
+    assert code == 1
+    assert "missing" in out
+
+
+def test_unreadable_or_bad_schema_is_distinct_error(tmp_path, bench_doc):
+    a = tmp_path / "a.json"
+    write_bench(bench_doc, str(a))
+    code, _ = run_compare(a, tmp_path / "nonexistent.json")
+    assert code == 2
+    bad = tmp_path / "bad.json"
+    bad.write_text('{"schema": 99, "figures": {}}')
+    code, out = run_compare(a, bad)
+    assert code == 2
+    assert "schema" in out

@@ -295,15 +295,24 @@ def test_observed_run_collects_all_layers():
 
 
 def test_instrumentation_is_zero_overhead_on_results():
-    """The acceptance criterion: identical numbers with and without obs."""
+    """The acceptance criterion: identical numbers with and without obs —
+    including the timeline sampler and flow-binding tracker, which ride
+    the time probe / allocation bookkeeping and must never perturb the
+    event schedule."""
     from repro.harness.experiment import run_point
+    from repro.obs import TimelineConfig
 
     plain = run_point(small_spec(), reps=2, base_seed=3)
     observed = run_point(small_spec(), reps=2, base_seed=3, obs=Observability())
-    assert plain.write_bw == observed.write_bw
-    assert plain.read_bw == observed.read_bw
-    assert plain.write_iops == observed.write_iops
-    assert plain.read_iops == observed.read_iops
+    sampled = run_point(
+        small_spec(), reps=2, base_seed=3,
+        obs=Observability(timeline=TimelineConfig(interval=0.001)),
+    )
+    for other in (observed, sampled):
+        assert plain.write_bw == other.write_bw
+        assert plain.read_bw == other.read_bw
+        assert plain.write_iops == other.write_iops
+        assert plain.read_iops == other.read_iops
 
 
 def test_bottleneck_summary_renders():
@@ -332,6 +341,63 @@ def test_observability_reset():
     assert o.tracer.spans == [] and o.link_stats == {}
     assert o.registry.names() == names_before
     assert o.registry.counter("workload.bytes").value == 0
+
+
+def test_reset_rearms_run_index_and_binding():
+    """Regression: a reused Observability must start a clean trace —
+    run_index back to -1, binding machinery re-armed, so the next bound
+    cluster records pid 0 again."""
+    from repro.harness.experiment import run_point
+    from repro.obs import TimelineConfig
+
+    o = Observability(timeline=TimelineConfig(interval=0.01))
+    run_point(small_spec(), reps=2, obs=o)
+    assert o.run_index == 1 and len(o.timelines) == 2
+    o.reset()
+    assert o.run_index == -1
+    assert o.timelines == []
+    assert o._bound is None and o._finalized
+    run_point(small_spec(), reps=1, obs=o)
+    o.finalize()
+    assert {s.pid for s in o.tracer.spans} == {0}
+    assert len(o.timelines) == 1
+
+
+def test_hottest_links_aggregates_across_clusters():
+    """Two bound clusters: link stats accumulate across both, and a
+    bound-but-never-run cluster (zero elapsed) contributes nothing."""
+    from repro.hardware.cluster import Cluster
+
+    o = Observability()
+    for seed in (0, 1):
+        with activated(o):
+            cluster = Cluster(n_servers=1, n_clients=1, seed=seed)
+        src = cluster.net.add_link("x.src", 100.0)
+        dst = cluster.net.add_link("x.dst", 200.0)
+        cluster.net.transfer(100.0, [(src, 1.0), (dst, 1.0)], name="t")
+        cluster.sim.run()
+        o.finalize_run(cluster)
+    busy, denom = o.link_stats["x.src"]
+    assert denom == pytest.approx(2 * 100.0 * 1.0)  # two 1s runs
+    assert busy == pytest.approx(2 * 100.0)
+    hottest = dict(o.hottest_links(10))
+    assert hottest["x.src"] == pytest.approx(1.0)
+    assert hottest["x.dst"] == pytest.approx(0.5)
+    # zero-elapsed run: bound, finalized, but no simulation ran
+    stats_before = {k: list(v) for k, v in o.link_stats.items()}
+    with activated(o):
+        idle = Cluster(n_servers=1, n_clients=1, seed=2)
+    o.finalize_run(idle)
+    assert {k: list(v) for k, v in o.link_stats.items()} == stats_before
+
+
+def test_render_table_histogram_percentiles():
+    reg = MetricsRegistry()
+    h = reg.histogram("a.lat", unit="s", bounds=(1.0, 10.0, 100.0))
+    for v in (0.5, 2.0, 5.0, 50.0):
+        h.observe(v)
+    table = reg.render_table()
+    assert "p50=" in table and "p99=" in table
 
 
 def test_simulator_metrics_hook_counts_events():

@@ -1,0 +1,138 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_<git-sha>.json files; fail on regressions.
+
+Stdlib-only on purpose — CI and developers run it against artifacts
+without installing the package::
+
+    python tools/bench_compare.py BENCH_old.json BENCH_new.json
+
+Exit status:
+
+- ``0`` — no regressions (identical files always pass);
+- ``1`` — at least one regression: a figure's wall-clock grew more than
+  ``--wall-tolerance`` (default 10%), any modelled series mean drifted
+  (these are deterministic — *any* drift is a semantic model change),
+  a shape check flipped to failing, or a figure/series disappeared;
+- ``2`` — the files could not be read or have incompatible schemas.
+
+Wall-clock noise cuts both ways: speedups and small slowdowns are
+reported as info, only slowdowns beyond the tolerance fail.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, List
+
+#: largest |new - old| / max(|old|, eps) treated as "no drift" for
+#: modelled numbers (they are deterministic; this only absorbs float
+#: formatting round-trips)
+DRIFT_EPS = 1e-9
+
+
+def load(path: str) -> Dict:
+    with open(path) as fh:
+        doc = json.load(fh)
+    if not isinstance(doc, dict) or "schema" not in doc or "figures" not in doc:
+        raise ValueError(f"{path}: not a BENCH document")
+    if doc["schema"] != 1:
+        raise ValueError(f"{path}: unsupported BENCH schema {doc['schema']!r}")
+    return doc
+
+
+def _rel_drift(old: float, new: float) -> float:
+    return abs(new - old) / max(abs(old), DRIFT_EPS)
+
+
+def compare(old: Dict, new: Dict, wall_tolerance: float) -> tuple:
+    """Returns (regressions, infos): lists of human-readable lines."""
+    regressions: List[str] = []
+    infos: List[str] = []
+    if old.get("scale") != new.get("scale"):
+        infos.append(
+            f"note: comparing different scales "
+            f"({old.get('scale')!r} vs {new.get('scale')!r})"
+        )
+    for fig_id, o in sorted(old["figures"].items()):
+        n = new["figures"].get(fig_id)
+        if n is None:
+            regressions.append(f"{fig_id}: figure missing from new file")
+            continue
+        # host cost: wall clock and events/second
+        ow, nw = o["wall_seconds"], n["wall_seconds"]
+        if ow > 0:
+            rel = (nw - ow) / ow
+            if rel > wall_tolerance:
+                regressions.append(
+                    f"{fig_id}: wall-clock regression {ow:.2f}s -> {nw:.2f}s "
+                    f"(+{rel:.0%}, tolerance {wall_tolerance:.0%})"
+                )
+            elif abs(rel) > 0.02:
+                word = "slower" if rel > 0 else "faster"
+                infos.append(f"{fig_id}: wall-clock {abs(rel):.0%} {word} ({ow:.2f}s -> {nw:.2f}s)")
+        # modelled results: any drift is a regression
+        for name, os_ in sorted(o["series"].items()):
+            ns = n["series"].get(name)
+            if ns is None:
+                regressions.append(f"{fig_id}: series {name!r} missing from new file")
+                continue
+            if list(os_["xs"]) != list(ns["xs"]):
+                regressions.append(f"{fig_id}: series {name!r} x-grid changed")
+                continue
+            for i, (om, nm) in enumerate(zip(os_["means"], ns["means"])):
+                if _rel_drift(om, nm) > DRIFT_EPS:
+                    regressions.append(
+                        f"{fig_id}: modelled drift in {name!r}[{i}]: "
+                        f"{om!r} -> {nm!r}"
+                    )
+        # shape checks
+        if n["checks_passed"] < n["checks_total"] and (
+            o["checks_passed"] == o["checks_total"]
+        ):
+            regressions.append(
+                f"{fig_id}: shape checks now failing "
+                f"({n['checks_passed']}/{n['checks_total']}, "
+                f"was {o['checks_passed']}/{o['checks_total']})"
+            )
+    for fig_id in sorted(set(new["figures"]) - set(old["figures"])):
+        infos.append(f"{fig_id}: new figure (no baseline)")
+    return regressions, infos
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Diff two BENCH json files; non-zero exit on regression"
+    )
+    parser.add_argument("old", help="baseline BENCH json")
+    parser.add_argument("new", help="candidate BENCH json")
+    parser.add_argument(
+        "--wall-tolerance", type=float, default=0.10, metavar="FRAC",
+        help="allowed fractional wall-clock growth per figure (default 0.10)",
+    )
+    args = parser.parse_args(argv)
+    try:
+        old = load(args.old)
+        new = load(args.new)
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    regressions, infos = compare(old, new, args.wall_tolerance)
+    print(
+        f"comparing {old.get('git_sha', '?')} ({args.old}) -> "
+        f"{new.get('git_sha', '?')} ({args.new})"
+    )
+    for line in infos:
+        print(f"  info: {line}")
+    if regressions:
+        for line in regressions:
+            print(f"  REGRESSION: {line}")
+        print(f"{len(regressions)} regression(s) found")
+        return 1
+    print("no regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

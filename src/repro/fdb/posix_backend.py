@@ -15,7 +15,7 @@ from __future__ import annotations
 import struct
 from typing import Dict, Generator, List, Optional, Tuple
 
-from repro.errors import InvalidArgumentError, NotFoundError
+from repro.errors import ExistsError, InvalidArgumentError, NotFoundError
 from repro.fdb.fdb import FdbBackend
 from repro.fdb.schema import FdbKey
 from repro.sim.randomness import stable_hash64
@@ -71,7 +71,7 @@ class FdbPosixBackend(FdbBackend):
         if writer:
             try:
                 yield from self.client.mkdir(self.root)
-            except Exception:
+            except ExistsError:
                 pass  # root already present (another process created it)
             self._data_fh = yield from self.client.create(
                 self.data_path, **self.create_kwargs

@@ -51,7 +51,8 @@ def git_sha(short: bool = True) -> str:
             cmd, capture_output=True, text=True, timeout=10, check=True
         )
         return out.stdout.strip() or "unknown"
-    except Exception:
+    except (subprocess.SubprocessError, OSError):
+        # no git binary, not a repo, or the command timed out
         return "unknown"
 
 

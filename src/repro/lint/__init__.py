@@ -1,0 +1,71 @@
+"""simlint: AST-based invariant checker for the repro codebase.
+
+The reproduction's headline claim — modelled bandwidths are bit-identical
+run-to-run and with/without observability — rests on coding contracts
+that ``pytest`` cannot enforce: no wall clock inside the model, no
+unseeded randomness, instrumentation dormant behind a single
+``is not None`` check, probes that never schedule events, and unit
+discipline via :mod:`repro.units`.  This package machine-checks those
+contracts on every PR::
+
+    python -m repro.lint src tools examples
+    python -m repro.lint --json src            # machine-readable output
+
+Rules (see ``docs/LINTING.md`` for rationale and examples):
+
+========  ================================================================
+SL001     no wall-clock reads outside the harness allowlist
+SL002     no ``random``/``numpy.random`` module RNG outside the seeded
+          stream factory (``repro.sim.randomness``)
+SL003     no float ``==``/``!=`` without ``math.isclose`` or an
+          ``# exact:`` justification comment
+SL004     obs-dormancy: attribute access on an ``obs``-named binding must
+          be dominated by an ``is not None`` guard
+SL005     ``time_probe`` callbacks must not schedule events or mutate the
+          flow network (one-level call-graph walk)
+SL006     broad ``except Exception`` without re-raise or justification
+SL007     mutable default arguments
+SL000     file could not be parsed (reported, never crashes the run)
+SL008     unused ``# simlint: disable`` suppression
+========  ================================================================
+
+Suppress a finding in place with a trailing comment on the flagged line::
+
+    risky_call()  # simlint: disable=SL006 -- justification here
+
+Suppressions that silence nothing are themselves reported (SL008) so
+stale pragmas cannot accumulate.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.lint.config import LintConfig, load_config
+from repro.lint.engine import LintEngine, lint_paths
+from repro.lint.findings import Finding, Severity
+from repro.lint.registry import Rule, all_rules, get_rule, register
+from repro.lint.reporters import render_json, render_text
+
+__all__ = [
+    "Finding",
+    "Severity",
+    "LintConfig",
+    "load_config",
+    "LintEngine",
+    "lint_paths",
+    "Rule",
+    "register",
+    "all_rules",
+    "get_rule",
+    "render_text",
+    "render_json",
+    "main",
+]
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point (``python -m repro.lint``)."""
+    from repro.lint.cli import main as cli_main
+
+    return cli_main(argv)

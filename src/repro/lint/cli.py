@@ -1,0 +1,103 @@
+"""Command line front end: ``python -m repro.lint [paths...]``.
+
+Exit codes are stable so CI can gate on them:
+
+=====  ===============================================================
+0      no error-severity findings (warnings may exist)
+1      at least one error-severity finding
+2      usage or configuration problem (bad path, malformed config)
+=====  ===============================================================
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.lint.config import LintConfig, load_config
+from repro.lint.engine import LintEngine
+from repro.lint.findings import Severity
+from repro.lint.registry import all_rules
+from repro.lint.reporters import error_count, render_json, render_text
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="simlint: AST invariant checker for the repro codebase",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit a JSON report on stdout"
+    )
+    parser.add_argument(
+        "--config", metavar="PATH", default=None,
+        help="TOML file with a [tool.simlint] table (default: ./pyproject.toml)",
+    )
+    parser.add_argument(
+        "--no-config", action="store_true",
+        help="ignore pyproject.toml and run with built-in defaults",
+    )
+    parser.add_argument(
+        "--select", metavar="CODES", default=None,
+        help="comma-separated rule codes to run (others are off)",
+    )
+    parser.add_argument(
+        "--ignore", metavar="CODES", default=None,
+        help="comma-separated rule codes to disable",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print every registered rule and exit",
+    )
+    return parser
+
+
+def _list_rules() -> str:
+    lines = []
+    for rule in all_rules():
+        lines.append(
+            f"{rule.code}  {rule.name:<24} [{rule.default_severity.value}] "
+            f"{rule.description}"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.list_rules:
+        print(_list_rules())
+        return 0
+    try:
+        config = LintConfig() if args.no_config else load_config(args.config)
+    except ValueError as err:
+        print(f"simlint: config error: {err}", file=sys.stderr)
+        return 2
+    if args.select:
+        config.select = [c.strip().upper() for c in args.select.split(",") if c.strip()]
+    if args.ignore:
+        config.ignore = [c.strip().upper() for c in args.ignore.split(",") if c.strip()]
+    engine = LintEngine(config=config)
+    try:
+        files = engine.discover(args.paths)
+        findings = engine.run(args.paths)
+    except FileNotFoundError as err:
+        print(f"simlint: {err}", file=sys.stderr)
+        return 2
+    report = (
+        render_json(findings, len(files)) if args.json
+        else render_text(findings, len(files))
+    )
+    print(report)
+    return 1 if error_count(findings) else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - module smoke entry
+    raise SystemExit(main())

@@ -1,0 +1,174 @@
+"""File discovery, the two-pass driver, and suppression accounting."""
+
+from __future__ import annotations
+
+import ast
+import fnmatch
+import os
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.lint.config import LintConfig
+from repro.lint.findings import Finding, Severity
+from repro.lint.registry import Rule, all_rules
+from repro.lint.suppress import SuppressionIndex
+
+__all__ = ["FileContext", "ProjectIndex", "LintEngine", "lint_paths"]
+
+
+class FileContext:
+    """One parsed source file plus everything rules need to inspect it."""
+
+    def __init__(self, path: Path, relpath: str, source: str) -> None:
+        self.path = path
+        self.relpath = relpath
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree: Optional[ast.AST] = None
+        self.parse_error: Optional[SyntaxError] = None
+        self.suppressions = SuppressionIndex.from_source(source)
+        try:
+            self.tree = ast.parse(source, filename=relpath)
+        except SyntaxError as err:
+            self.parse_error = err
+
+    def line_text(self, lineno: int) -> str:
+        """The physical source line (1-based); empty when out of range."""
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1]
+        return ""
+
+
+class ProjectIndex:
+    """Cross-file facts gathered in the collect pass.
+
+    ``functions`` maps bare function/method name to every definition site
+    (enough for the one-level call-graph walk SL005 performs);
+    ``probe_callbacks`` maps callback name to the registration sites that
+    assigned it to a ``time_probe`` attribute.
+    """
+
+    def __init__(self) -> None:
+        self.functions: Dict[str, List[Tuple[str, ast.AST]]] = {}
+        self.probe_callbacks: Dict[str, List[str]] = {}
+
+    def add_function(self, name: str, relpath: str, node: ast.AST) -> None:
+        self.functions.setdefault(name, []).append((relpath, node))
+
+    def add_probe_callback(self, name: str, site: str) -> None:
+        self.probe_callbacks.setdefault(name, []).append(site)
+
+
+class LintEngine:
+    """Discover files, run the collect pass, then check every rule."""
+
+    def __init__(self, config: Optional[LintConfig] = None,
+                 rules: Optional[Sequence[Rule]] = None):
+        self.config = config or LintConfig()
+        self.rules = list(rules) if rules is not None else all_rules()
+
+    # -- discovery -----------------------------------------------------------
+    def discover(self, paths: Sequence[str]) -> List[Path]:
+        """Expand files/directories into a sorted, de-duplicated file list."""
+        seen = {}
+        for raw in paths:
+            p = Path(raw)
+            if p.is_dir():
+                candidates: Iterable[Path] = sorted(p.rglob("*.py"))
+            elif p.is_file():
+                candidates = [p]
+            else:
+                raise FileNotFoundError(f"no such file or directory: {raw}")
+            for c in candidates:
+                rel = _relpath(c)
+                if self._excluded(rel):
+                    continue
+                seen[rel] = c
+        return [seen[rel] for rel in sorted(seen)]
+
+    def _excluded(self, relpath: str) -> bool:
+        posix = relpath.replace(os.sep, "/")
+        base = posix.rsplit("/", 1)[-1]
+        return any(
+            fnmatch.fnmatch(posix, pat) or fnmatch.fnmatch(base, pat)
+            for pat in self.config.exclude
+        )
+
+    # -- the run -------------------------------------------------------------
+    def run(self, paths: Sequence[str]) -> List[Finding]:
+        files = self.discover(paths)
+        contexts: List[FileContext] = []
+        findings: List[Finding] = []
+        for path in files:
+            rel = _relpath(path)
+            try:
+                source = path.read_text(encoding="utf-8")
+            except (OSError, UnicodeDecodeError) as err:
+                findings.append(Finding(
+                    code="SL000", message=f"cannot read file: {err}",
+                    path=rel, line=1, severity=Severity.ERROR,
+                    rule_name="parse-error",
+                ))
+                continue
+            contexts.append(FileContext(path, rel, source))
+
+        project = ProjectIndex()
+        active = [
+            (rule, self.config.severity_for(rule.code, rule.default_severity))
+            for rule in self.rules
+        ]
+        for ctx in contexts:
+            if ctx.tree is None:
+                continue
+            for node in ast.walk(ctx.tree):
+                if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    project.add_function(node.name, ctx.relpath, node)
+            for rule, severity in active:
+                if severity is not Severity.OFF:
+                    rule.collect(ctx, project)
+
+        for ctx in contexts:
+            if ctx.parse_error is not None:
+                err = ctx.parse_error
+                findings.append(Finding(
+                    code="SL000", message=f"syntax error: {err.msg}",
+                    path=ctx.relpath, line=err.lineno or 1,
+                    col=(err.offset or 1) - 1, severity=Severity.ERROR,
+                    rule_name="parse-error",
+                ))
+                continue
+            for rule, severity in active:
+                if severity is Severity.OFF:
+                    continue
+                for finding in rule.check(ctx, project, self.config):
+                    finding.severity = severity
+                    if ctx.suppressions.suppresses(finding.code, finding.line):
+                        continue
+                    findings.append(finding)
+            sl008 = self.config.severity_for("SL008", Severity.ERROR)
+            if sl008 is not Severity.OFF:
+                for sup in ctx.suppressions.unused():
+                    codes = "all rules" if "*" in sup.codes else ",".join(sorted(sup.codes))
+                    findings.append(Finding(
+                        code="SL008",
+                        message=f"unused suppression ({codes}): nothing to silence on this line",
+                        path=ctx.relpath, line=sup.line, severity=sl008,
+                        rule_name="unused-suppression",
+                    ))
+        findings.sort(key=Finding.sort_key)
+        return findings
+
+
+def _relpath(path: Path) -> str:
+    """Path relative to the working directory when possible (stable,
+    clickable in CI logs), absolute otherwise."""
+    try:
+        return os.path.relpath(path)
+    except ValueError:  # pragma: no cover - different drive on windows
+        return str(path)
+
+
+def lint_paths(paths: Sequence[str],
+               config: Optional[LintConfig] = None) -> List[Finding]:
+    """Convenience: run every registered rule over ``paths``."""
+    return LintEngine(config=config).run(paths)

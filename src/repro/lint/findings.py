@@ -1,0 +1,61 @@
+"""Finding and severity types shared by every rule and reporter."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class Severity(enum.Enum):
+    """How a finding affects the exit code.
+
+    ``ERROR`` findings fail the run (exit 1); ``WARNING`` findings are
+    reported but do not; ``OFF`` disables the rule entirely.
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+    OFF = "off"
+
+    @classmethod
+    def parse(cls, text: str) -> "Severity":
+        try:
+            return cls(text.strip().lower())
+        except ValueError:
+            raise ValueError(
+                f"unknown severity {text!r}: expected one of "
+                f"{[s.value for s in cls]}"
+            ) from None
+
+
+@dataclass
+class Finding:
+    """One rule violation at a source location."""
+
+    code: str
+    message: str
+    path: str
+    line: int
+    col: int = 0
+    severity: Severity = Severity.ERROR
+    rule_name: str = field(default="", compare=False)
+
+    def sort_key(self) -> tuple:
+        return (self.path, self.line, self.col, self.code)
+
+    def to_json_obj(self) -> dict:
+        return {
+            "code": self.code,
+            "rule": self.rule_name,
+            "severity": self.severity.value,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.code} [{self.severity.value}] {self.message}"
+        )

@@ -1,0 +1,47 @@
+"""Text and JSON reporters over a finding list."""
+
+from __future__ import annotations
+
+import json
+from typing import List, Sequence
+
+from repro.lint.findings import Finding, Severity
+
+__all__ = ["render_text", "render_json", "error_count", "warning_count"]
+
+#: bumped when the JSON layout changes, so tooling can detect drift
+REPORT_SCHEMA = 1
+
+
+def error_count(findings: Sequence[Finding]) -> int:
+    return sum(1 for f in findings if f.severity is Severity.ERROR)
+
+
+def warning_count(findings: Sequence[Finding]) -> int:
+    return sum(1 for f in findings if f.severity is Severity.WARNING)
+
+
+def render_text(findings: Sequence[Finding], checked_files: int) -> str:
+    """One line per finding plus a summary, grep- and IDE-friendly."""
+    lines: List[str] = [f.render() for f in findings]
+    errors = error_count(findings)
+    warnings = warning_count(findings)
+    if errors or warnings:
+        lines.append(
+            f"simlint: {errors} error(s), {warnings} warning(s) "
+            f"in {checked_files} file(s)"
+        )
+    else:
+        lines.append(f"simlint: clean ({checked_files} file(s) checked)")
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[Finding], checked_files: int) -> str:
+    doc = {
+        "schema": REPORT_SCHEMA,
+        "files_checked": checked_files,
+        "errors": error_count(findings),
+        "warnings": warning_count(findings),
+        "findings": [f.to_json_obj() for f in findings],
+    }
+    return json.dumps(doc, indent=2, sort_keys=True)

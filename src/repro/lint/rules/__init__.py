@@ -1,0 +1,11 @@
+"""Built-in rule set.  Importing this package registers every rule."""
+
+from repro.lint.rules import (  # noqa: F401
+    defaults,
+    excepts,
+    floateq,
+    obsguard,
+    probe,
+    rng,
+    wallclock,
+)

@@ -1,0 +1,58 @@
+"""SL007: mutable default arguments.
+
+A ``def f(xs=[])`` default is evaluated once and shared by every call —
+in a simulator that rebuilds clusters per repetition, shared mutable
+state leaks results from one repetition into the next, which is exactly
+the cross-run coupling the determinism contract forbids.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterable
+
+from repro.lint.config import LintConfig
+from repro.lint.findings import Finding
+from repro.lint.registry import Rule, register
+
+if TYPE_CHECKING:
+    from repro.lint.engine import FileContext, ProjectIndex
+
+_MUTABLE_CALLS = frozenset({
+    "list", "dict", "set", "bytearray",
+    "defaultdict", "OrderedDict", "deque", "Counter",
+})
+
+
+def _is_mutable(default: ast.AST) -> bool:
+    if isinstance(default, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                            ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(default, ast.Call):
+        func = default.func
+        name = func.id if isinstance(func, ast.Name) else (
+            func.attr if isinstance(func, ast.Attribute) else None
+        )
+        return name in _MUTABLE_CALLS
+    return False
+
+
+@register
+class MutableDefaultRule(Rule):
+    code = "SL007"
+    name = "no-mutable-default"
+    description = "mutable default argument shared across calls"
+
+    def check(self, ctx: "FileContext", project: "ProjectIndex", config: LintConfig) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            defaults = list(node.args.defaults)
+            defaults += [d for d in node.args.kw_defaults if d is not None]
+            for default in defaults:
+                if _is_mutable(default):
+                    yield self.finding(
+                        ctx, default.lineno, default.col_offset,
+                        f"mutable default argument in {node.name}(): "
+                        f"use None and allocate inside the function",
+                    )

@@ -1,0 +1,71 @@
+"""SL006: broad exception handlers hide simulation bugs.
+
+A bare ``except:`` or ``except Exception:`` that swallows everything can
+mask a :class:`repro.errors.SimulationError` mid-run and turn a hard
+modelling bug into silently wrong bandwidth numbers.  Handlers must
+either name the exception types they expect (the :mod:`repro.errors`
+hierarchy exists for this), re-raise, or carry an explicit
+``# simlint: disable=SL006`` justification.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterable, Optional
+
+from repro.lint.astutil import dotted_name
+from repro.lint.config import LintConfig
+from repro.lint.findings import Finding
+from repro.lint.registry import Rule, register
+
+if TYPE_CHECKING:
+    from repro.lint.engine import FileContext, ProjectIndex
+
+_BROAD = frozenset({"Exception", "BaseException"})
+
+
+def _names(type_node: Optional[ast.expr]) -> Iterable[str]:
+    if type_node is None:
+        return ()
+    if isinstance(type_node, ast.Tuple):
+        out = []
+        for elt in type_node.elts:
+            name = dotted_name(elt)
+            if name:
+                out.append(name.rsplit(".", 1)[-1])
+        return out
+    name = dotted_name(type_node)
+    return (name.rsplit(".", 1)[-1],) if name else ()
+
+
+def _reraises(handler: ast.ExceptHandler) -> bool:
+    return any(isinstance(n, ast.Raise) for n in ast.walk(handler))
+
+
+@register
+class BroadExceptRule(Rule):
+    code = "SL006"
+    name = "no-broad-except"
+    description = (
+        "bare/broad 'except Exception' without re-raise; narrow the type "
+        "or justify with a suppression"
+    )
+
+    def check(self, ctx: "FileContext", project: "ProjectIndex", config: LintConfig) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                caught = "bare except"
+            else:
+                broad = [n for n in _names(node.type) if n in _BROAD]
+                if not broad:
+                    continue
+                caught = f"except {broad[0]}"
+            if _reraises(node):
+                continue
+            yield self.finding(
+                ctx, node.lineno, node.col_offset,
+                f"{caught} without re-raise can swallow simulation bugs; "
+                f"catch specific repro.errors types or justify the breadth",
+            )

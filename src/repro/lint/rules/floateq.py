@@ -1,0 +1,79 @@
+"""SL003: exact float comparison needs ``math.isclose`` or a reason.
+
+The flow network accumulates rates over thousands of events;
+``bw == 6.25`` silently becomes flaky the first time a refactor changes
+summation order by one ulp.  Comparisons where either side is evidently
+float-valued (a float literal, a ``float()`` cast, or a true division)
+must use ``math.isclose`` — or carry an ``# exact:`` comment explaining
+why the value is exact in binary floating point (integral values,
+untouched defaults, powers of two).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterable
+
+from repro.lint.config import LintConfig
+from repro.lint.findings import Finding
+from repro.lint.registry import Rule, register
+
+if TYPE_CHECKING:
+    from repro.lint.engine import FileContext, ProjectIndex
+
+#: same-line comment token that justifies an exact comparison
+JUSTIFICATION = "exact"
+
+
+def _floatish(node: ast.AST) -> bool:
+    """Conservatively true when the expression is evidently float-valued."""
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, float)
+    if isinstance(node, ast.UnaryOp):
+        return _floatish(node.operand)
+    if isinstance(node, ast.Call):
+        return isinstance(node.func, ast.Name) and node.func.id == "float"
+    if isinstance(node, ast.BinOp):
+        if isinstance(node.op, ast.Div):
+            return True
+        return _floatish(node.left) or _floatish(node.right)
+    return False
+
+
+def _justified(ctx: "FileContext", node: ast.Compare) -> bool:
+    """An ``# exact:``-style comment on any physical line of the
+    comparison documents intentional exact arithmetic."""
+    end = getattr(node, "end_lineno", node.lineno) or node.lineno
+    for lineno in range(node.lineno, end + 1):
+        text = ctx.line_text(lineno)
+        _, _, comment = text.partition("#")
+        if comment and JUSTIFICATION in comment.lower():
+            return True
+    return False
+
+
+@register
+class FloatEqualityRule(Rule):
+    code = "SL003"
+    name = "no-float-equality"
+    description = (
+        "float ==/!= needs math.isclose or an '# exact:' justification "
+        "comment"
+    )
+
+    def check(self, ctx: "FileContext", project: "ProjectIndex", config: LintConfig) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            if not any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
+                continue
+            operands = [node.left] + list(node.comparators)
+            if not any(_floatish(o) for o in operands):
+                continue
+            if _justified(ctx, node):
+                continue
+            yield self.finding(
+                ctx, node.lineno, node.col_offset,
+                "exact float comparison; use math.isclose(...) or add an "
+                "'# exact: <why>' comment if the value is exact in binary",
+            )

@@ -1,0 +1,330 @@
+"""SL004: obs-dormancy — observability access must be None-guarded.
+
+The zero-overhead contract (docs/OBSERVABILITY.md) states that with no
+active :class:`repro.obs.Observability` every instrumentation site is a
+single ``is None`` check.  That only holds if every attribute access on
+an ``obs``-named binding (``obs``, ``_obs``, ``self.obs``,
+``self._obs``, ...) is *dominated* by an ``is not None`` guard in its
+enclosing function.  An unguarded access either crashes the unobserved
+run or — worse — means someone made observability load-bearing.
+
+The analysis is an intraprocedural dominance walk, deliberately simple
+but aware of this codebase's real idioms:
+
+- ``if obs is not None: ...`` guards its body, including ``and``-chains
+  and ``x if obs is not None else y`` conditional expressions;
+- ``if self._obs is None: ... return`` guards everything after it;
+- ``assert obs is not None`` guards the remainder of the block;
+- a binding assigned an evident constructor call
+  (``obs = Observability()``) is definitely bound;
+- *proxy guards*: when ``span`` is only assigned under an
+  ``obs is not None`` guard, a later ``if span is not None:`` also
+  proves ``obs`` non-None (the ``span``/``obs`` pairing used by the
+  workload runners);
+- a parameter annotated with a non-Optional type is trusted (the
+  annotation is the contract; mypy enforces it).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.lint.astutil import block_terminates
+from repro.lint.config import LintConfig
+from repro.lint.findings import Finding
+from repro.lint.registry import Rule, register
+
+if TYPE_CHECKING:
+    from repro.lint.engine import FileContext, ProjectIndex
+
+#: terminal component names that make a binding "obs-named"
+OBS_NAMES = frozenset({"obs", "_obs"})
+
+
+def _chain_str(node: ast.AST) -> Optional[str]:
+    """Dotted string for a pure Name/Attribute chain, else None."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _is_obs_key(chain: Optional[str]) -> bool:
+    if chain is None:
+        return False
+    return chain.rsplit(".", 1)[-1] in OBS_NAMES
+
+
+def _annotation_is_optional(annotation: Optional[ast.AST]) -> bool:
+    """True for Optional[...], X | None, or missing annotations."""
+    if annotation is None:
+        return True
+    text = ast.unparse(annotation)
+    return "Optional" in text or "None" in text
+
+
+def _constructorish(value: ast.AST) -> bool:
+    """A call whose target's last component is CapWords — evidently a
+    class instantiation, hence not None."""
+    if not isinstance(value, ast.Call):
+        return False
+    chain = _chain_str(value.func)
+    if chain is None:
+        return False
+    last = chain.rsplit(".", 1)[-1]
+    return bool(last) and last[0].isupper()
+
+
+class _FunctionAnalysis:
+    """Walk one function body tracking which obs keys are proven
+    non-None, emitting an access record for every unguarded use."""
+
+    def __init__(self, func: ast.AST, module_imports: Optional[Set[str]] = None) -> None:
+        self.func = func
+        self.violations: List[Tuple[int, int, str]] = []
+        self.proxies: Dict[str, str] = {}
+        # names bound by module-level imports (``import repro.obs`` makes
+        # ``repro.obs.current`` a module access, not an optional binding)
+        # minus names the function rebinds (params and assignments shadow)
+        shadowed = {a.arg for a in (
+            func.args.posonlyargs + func.args.args + func.args.kwonlyargs
+        )}
+        for node in ast.walk(func):
+            if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store):
+                shadowed.add(node.id)
+        self.module_roots = (module_imports or set()) - shadowed
+
+    def _is_tracked(self, chain: Optional[str]) -> bool:
+        if not _is_obs_key(chain):
+            return False
+        return chain.split(".", 1)[0] not in self.module_roots
+
+    # -- entry ---------------------------------------------------------------
+    def run(self) -> List[Tuple[int, int, str]]:
+        known: Set[str] = set()
+        args = self.func.args
+        all_args = list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+        defaults = list(args.defaults)
+        positional = args.posonlyargs + args.args
+        none_default = set()
+        if defaults:  # trailing positional parameters carry the defaults
+            for a, d in zip(positional[-len(defaults):], defaults):
+                if isinstance(d, ast.Constant) and d.value is None:
+                    none_default.add(a.arg)
+        for a, d in zip(args.kwonlyargs, args.kw_defaults):
+            if d is not None and isinstance(d, ast.Constant) and d.value is None:
+                none_default.add(a.arg)
+        for a in all_args:
+            if a.arg in OBS_NAMES:
+                if a.arg not in none_default and not _annotation_is_optional(a.annotation):
+                    known.add(a.arg)
+        self.visit_block(self.func.body, known)
+        return self.violations
+
+    # -- guards --------------------------------------------------------------
+    def guard_sets(self, test: ast.AST) -> Tuple[Set[str], Set[str]]:
+        """(keys non-None when test is true, keys non-None when false)."""
+        if isinstance(test, ast.Compare) and len(test.ops) == 1:
+            left, op, right = test.left, test.ops[0], test.comparators[0]
+            # normalize `None is not x`
+            if isinstance(left, ast.Constant) and left.value is None:
+                left, right = right, left
+            if isinstance(right, ast.Constant) and right.value is None:
+                key = self._guardable_key(left)
+                if key:
+                    if isinstance(op, ast.IsNot):
+                        return {key}, set()
+                    if isinstance(op, ast.Is):
+                        return set(), {key}
+            return set(), set()
+        if isinstance(test, ast.UnaryOp) and isinstance(test.op, ast.Not):
+            pos, neg = self.guard_sets(test.operand)
+            return neg, pos
+        if isinstance(test, ast.BoolOp):
+            pos: Set[str] = set()
+            neg: Set[str] = set()
+            for value in test.values:
+                p, n = self.guard_sets(value)
+                pos |= p
+                neg |= n
+            if isinstance(test.op, ast.And):
+                return pos, set()
+            return set(), neg
+        key = self._guardable_key(test)  # truthiness: `if obs:`
+        if key:
+            return {key}, set()
+        return set(), set()
+
+    def _guardable_key(self, node: ast.AST) -> Optional[str]:
+        chain = _chain_str(node)
+        if chain is None:
+            return None
+        if self._is_tracked(chain):
+            return chain
+        if "." not in chain and chain in self.proxies:
+            return self.proxies[chain]
+        return None
+
+    # -- statements ----------------------------------------------------------
+    def visit_block(self, stmts: List[ast.stmt], known: Set[str]) -> Set[str]:
+        for stmt in stmts:
+            known = self.visit_stmt(stmt, known)
+        return known
+
+    def visit_stmt(self, stmt: ast.stmt, known: Set[str]) -> Set[str]:
+        if isinstance(stmt, ast.If):
+            self.check_expr(stmt.test, known)
+            pos, neg = self.guard_sets(stmt.test)
+            body_out = self.visit_block(stmt.body, known | pos)
+            else_out = self.visit_block(stmt.orelse, known | neg)
+            body_ends = block_terminates(stmt.body)
+            else_ends = block_terminates(stmt.orelse) if stmt.orelse else False
+            if not stmt.orelse:
+                return known | neg if body_ends else known & body_out
+            if body_ends and else_ends:
+                return known
+            if body_ends:
+                return else_out
+            if else_ends:
+                return body_out
+            return body_out & else_out
+        if isinstance(stmt, ast.Assert):
+            self.check_expr(stmt.test, known)
+            pos, _ = self.guard_sets(stmt.test)
+            return known | pos
+        if isinstance(stmt, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            return self.visit_assign(stmt, known)
+        if isinstance(stmt, (ast.While,)):
+            self.check_expr(stmt.test, known)
+            pos, _ = self.guard_sets(stmt.test)
+            self.visit_block(stmt.body, known | pos)
+            self.visit_block(stmt.orelse, known)
+            return known
+        if isinstance(stmt, ast.For):
+            self.check_expr(stmt.iter, known)
+            self.visit_block(stmt.body, known)
+            self.visit_block(stmt.orelse, known)
+            return known
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                self.check_expr(item.context_expr, known)
+            return self.visit_block(stmt.body, known)
+        if isinstance(stmt, ast.Try):
+            self.visit_block(stmt.body, known)
+            for handler in stmt.handlers:
+                self.visit_block(handler.body, known)
+            self.visit_block(stmt.orelse, known)
+            self.visit_block(stmt.finalbody, known)
+            return known
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return known  # analyzed as their own scopes
+        if isinstance(stmt, ast.Return) and stmt.value is not None:
+            self.check_expr(stmt.value, known)
+            return known
+        if isinstance(stmt, ast.Expr):
+            self.check_expr(stmt.value, known)
+            return known
+        for child in ast.iter_child_nodes(stmt):
+            if isinstance(child, ast.expr):
+                self.check_expr(child, known)
+        return known
+
+    def visit_assign(self, stmt: ast.stmt, known: Set[str]) -> Set[str]:
+        value = stmt.value
+        if value is not None:
+            self.check_expr(value, known)
+        targets = stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+        for target in targets:
+            chain = _chain_str(target)
+            if chain is None:
+                continue
+            if self._is_tracked(chain):
+                if value is None:
+                    known.discard(chain)
+                elif isinstance(value, ast.Constant) and value.value is None:
+                    known.discard(chain)
+                elif _constructorish(value):
+                    known = known | {chain}
+                elif _chain_str(value) in known:
+                    known = known | {chain}
+                else:
+                    known = known - {chain}
+            elif "." not in chain and value is not None:
+                proxied = self._value_mentions_known(value, known)
+                if proxied:
+                    self.proxies[chain] = proxied
+                else:
+                    self.proxies.pop(chain, None)
+        return known
+
+    def _value_mentions_known(self, value: ast.AST, known: Set[str]) -> Optional[str]:
+        for node in ast.walk(value):
+            chain = _chain_str(node)
+            if chain in known:
+                return chain
+        return None
+
+    # -- expressions ---------------------------------------------------------
+    def check_expr(self, node: ast.AST, known: Set[str]) -> None:
+        if isinstance(node, ast.BoolOp):
+            acc = set(known)
+            for value in node.values:
+                self.check_expr(value, acc)
+                pos, neg = self.guard_sets(value)
+                acc |= pos if isinstance(node.op, ast.And) else neg
+            return
+        if isinstance(node, ast.IfExp):
+            self.check_expr(node.test, known)
+            pos, neg = self.guard_sets(node.test)
+            self.check_expr(node.body, known | pos)
+            self.check_expr(node.orelse, known | neg)
+            return
+        if isinstance(node, ast.Attribute):
+            chain = _chain_str(node.value)
+            if self._is_tracked(chain) and chain not in known:
+                self.violations.append((node.lineno, node.col_offset, chain))
+            self.check_expr(node.value, known)
+            return
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return
+        if isinstance(node, ast.Lambda):
+            self.check_expr(node.body, known)
+            return
+        for child in ast.iter_child_nodes(node):
+            self.check_expr(child, known)
+
+
+@register
+class ObsGuardRule(Rule):
+    code = "SL004"
+    name = "obs-dormancy"
+    description = (
+        "attribute access on an obs-named binding must be dominated by "
+        "an 'is not None' guard in the enclosing function"
+    )
+
+    def check(self, ctx: "FileContext", project: "ProjectIndex", config: LintConfig) -> Iterable[Finding]:
+        module_imports: Set[str] = set()
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    module_imports.add(alias.asname or alias.name.split(".", 1)[0])
+            elif isinstance(node, ast.ImportFrom):
+                for alias in node.names:
+                    if alias.name != "*":
+                        module_imports.add(alias.asname or alias.name)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            for lineno, col, chain in _FunctionAnalysis(node, module_imports).run():
+                yield self.finding(
+                    ctx, lineno, col,
+                    f"access on {chain!r} is not dominated by an "
+                    f"'{chain} is not None' guard in {node.name}(); the "
+                    f"zero-overhead contract requires dormant instrumentation",
+                )

@@ -1,0 +1,63 @@
+"""SL002: no module-level RNG outside the seeded stream factory.
+
+All stochastic behaviour must draw from a named, seeded child stream of
+:class:`repro.sim.randomness.RngStreams` so runs replay exactly and new
+randomness consumers do not perturb existing streams.  ``import
+random`` or a ``numpy.random.*`` module call anywhere else introduces
+unseeded (or globally seeded, which is worse: cross-component coupling)
+randomness that silently breaks replayability.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterable
+
+from repro.lint.astutil import ImportMap, resolve_call_name
+from repro.lint.config import LintConfig
+from repro.lint.findings import Finding
+from repro.lint.registry import Rule, register
+
+if TYPE_CHECKING:
+    from repro.lint.engine import FileContext, ProjectIndex
+
+
+@register
+class ModuleRngRule(Rule):
+    code = "SL002"
+    name = "no-module-rng"
+    description = (
+        "random / numpy.random module RNG is forbidden outside "
+        "sim/randomness.py; inject a seeded RngStreams stream instead"
+    )
+
+    def check(self, ctx: "FileContext", project: "ProjectIndex", config: LintConfig) -> Iterable[Finding]:
+        if config.path_allowed(ctx.relpath, config.rng_allow):
+            return
+        imports = ImportMap(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random" or alias.name.startswith("random."):
+                        yield self.finding(
+                            ctx, node.lineno, node.col_offset,
+                            "import of the stdlib 'random' module; draw from "
+                            "a seeded repro.sim.randomness.RngStreams stream",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.level == 0 and node.module == "random":
+                    yield self.finding(
+                        ctx, node.lineno, node.col_offset,
+                        "from-import of the stdlib 'random' module; draw from "
+                        "a seeded repro.sim.randomness.RngStreams stream",
+                    )
+            elif isinstance(node, ast.Call):
+                full = resolve_call_name(node.func, imports)
+                if full and (
+                    full.startswith("numpy.random.") or full == "numpy.random"
+                ):
+                    yield self.finding(
+                        ctx, node.lineno, node.col_offset,
+                        f"direct {full}() call; numpy RNG must come from a "
+                        f"seeded RngStreams stream (repro.sim.randomness)",
+                    )

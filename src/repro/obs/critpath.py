@@ -36,7 +36,10 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs import Observability
 
 __all__ = [
     "ResourceShare",
@@ -183,7 +186,7 @@ def _scaled_shares(binding: Dict[str, float], total: float) -> Dict[str, float]:
     return {cls: total * secs / weight for cls, secs in by_class.items()}
 
 
-def analyze_critical_path(obs) -> List[RunCriticalPath]:
+def analyze_critical_path(obs: "Observability") -> List[RunCriticalPath]:
     """One :class:`RunCriticalPath` per observed run, in pid order."""
     by_pid: Dict[int, list] = {}
     for span in obs.tracer.finished:
@@ -270,7 +273,7 @@ def aggregate_shares(runs: List[RunCriticalPath]) -> List[ResourceShare]:
     return rows
 
 
-def render_critical_path(obs, top: int = 6, per_run: bool = False) -> str:
+def render_critical_path(obs: "Observability", top: int = 6, per_run: bool = False) -> str:
     """The "top contributors / what to speed up" table.
 
     Aggregates across every observed run by default; ``per_run=True``

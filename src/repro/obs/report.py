@@ -9,9 +9,12 @@ when explaining a bandwidth number.
 
 from __future__ import annotations
 
-from typing import List
+from typing import TYPE_CHECKING, List
 
 from repro.obs.metrics import Counter
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs import Observability
 
 __all__ = ["render_bottlenecks"]
 
@@ -25,7 +28,7 @@ def _human(value: float, unit: str) -> str:
     return f"{value:,.0f}"
 
 
-def render_bottlenecks(obs, top: int = 8) -> str:
+def render_bottlenecks(obs: "Observability", top: int = 8) -> str:
     """ASCII bottleneck summary for one figure's Observability."""
     lines: List[str] = ["bottleneck summary:"]
     spans = obs.tracer.top_spans(top)

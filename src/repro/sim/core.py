@@ -40,10 +40,16 @@ __all__ = [
 ]
 
 
+#: completion callback: ``callback(value, exc)`` with exactly one non-None
+DoneCallback = Callable[[Any, Optional[BaseException]], None]
+#: returned by ``_subscribe``; detaches the callback (AnyOf losers)
+Unsubscribe = Callable[[], None]
+
+
 class Interrupt(Exception):
     """Thrown into a process by :meth:`Process.interrupt`."""
 
-    def __init__(self, cause: Any = None):
+    def __init__(self, cause: Any = None) -> None:
         super().__init__(cause)
         self.cause = cause
 
@@ -53,7 +59,9 @@ class EventHandle:
 
     __slots__ = ("time", "seq", "fn", "args", "cancelled")
 
-    def __init__(self, time: float, seq: int, fn: Callable, args: tuple):
+    def __init__(
+        self, time: float, seq: int, fn: Callable[..., Any], args: tuple[Any, ...]
+    ) -> None:
         self.time = time
         self.seq = seq
         self.fn = fn
@@ -71,7 +79,7 @@ class EventHandle:
 class Waitable:
     """Interface for things a process may ``yield``."""
 
-    def _subscribe(self, sim: "Simulator", callback: Callable[[Any, Optional[BaseException]], None]) -> Callable[[], None]:
+    def _subscribe(self, sim: "Simulator", callback: DoneCallback) -> Unsubscribe:
         """Arrange for ``callback(value, exc)`` when done; return an
         unsubscribe function (used by :class:`AnyOf` losers)."""
         raise NotImplementedError
@@ -82,13 +90,13 @@ class Timeout(Waitable):
 
     __slots__ = ("delay", "value")
 
-    def __init__(self, delay: float, value: Any = None):
+    def __init__(self, delay: float, value: Any = None) -> None:
         if delay < 0:
             raise SimulationError(f"negative timeout: {delay}")
         self.delay = delay
         self.value = value
 
-    def _subscribe(self, sim, callback):
+    def _subscribe(self, sim: "Simulator", callback: DoneCallback) -> Unsubscribe:
         handle = sim.schedule(self.delay, callback, self.value, None)
         return handle.cancel
 
@@ -103,13 +111,14 @@ class Signal(Waitable):
 
     __slots__ = ("sim", "fired", "value", "exc", "_waiters", "name")
 
-    def __init__(self, sim: "Simulator", name: str = ""):
+    def __init__(self, sim: "Simulator", name: str = "") -> None:
         self.sim = sim
         self.name = name
         self.fired = False
         self.value: Any = None
         self.exc: Optional[BaseException] = None
-        self._waiters: list[Callable] = []
+        # lazily-unsubscribed slots are overwritten with None
+        self._waiters: list[Optional[DoneCallback]] = []
 
     def succeed(self, value: Any = None) -> None:
         """Fire the signal successfully, resuming all waiters."""
@@ -119,7 +128,7 @@ class Signal(Waitable):
         """Fire the signal with an exception, which propagates to waiters."""
         self._fire(None, exc)
 
-    def _fire(self, value, exc) -> None:
+    def _fire(self, value: Any, exc: Optional[BaseException]) -> None:
         if self.fired:
             raise SimulationError(f"signal {self.name!r} fired twice")
         self.fired = True
@@ -130,14 +139,14 @@ class Signal(Waitable):
             if cb is not None:
                 self.sim.schedule(0.0, cb, value, exc)
 
-    def _subscribe(self, sim, callback):
+    def _subscribe(self, sim: "Simulator", callback: DoneCallback) -> Unsubscribe:
         if self.fired:
             handle = sim.schedule(0.0, callback, self.value, self.exc)
             return handle.cancel
         self._waiters.append(callback)
         index = len(self._waiters) - 1
 
-        def unsubscribe():
+        def unsubscribe() -> None:
             # Lazy removal: overwrite with None (cheap, preserves order).
             if index < len(self._waiters) and self._waiters[index] is callback:
                 self._waiters[index] = None
@@ -156,20 +165,20 @@ class AllOf(Waitable):
     exception fails the combinator.
     """
 
-    def __init__(self, waitables: Iterable[Waitable]):
+    def __init__(self, waitables: Iterable[Waitable]) -> None:
         self.waitables = list(waitables)
 
-    def _subscribe(self, sim, callback):
+    def _subscribe(self, sim: "Simulator", callback: DoneCallback) -> Unsubscribe:
         remaining = len(self.waitables)
         if remaining == 0:
             handle = sim.schedule(0.0, callback, [], None)
             return handle.cancel
         values: list[Any] = [None] * remaining
         state = {"left": remaining, "failed": False}
-        unsubs: list[Callable] = []
+        unsubs: list[Unsubscribe] = []
 
-        def make_child(i):
-            def child_done(value, exc):
+        def make_child(i: int) -> DoneCallback:
+            def child_done(value: Any, exc: Optional[BaseException]) -> None:
                 if state["failed"]:
                     return
                 if exc is not None:
@@ -186,7 +195,7 @@ class AllOf(Waitable):
         for i, w in enumerate(self.waitables):
             unsubs.append(w._subscribe(sim, make_child(i)))
 
-        def unsubscribe():
+        def unsubscribe() -> None:
             for u in unsubs:
                 u()
 
@@ -196,17 +205,17 @@ class AllOf(Waitable):
 class AnyOf(Waitable):
     """Completes when the first child completes; value is ``(index, value)``."""
 
-    def __init__(self, waitables: Iterable[Waitable]):
+    def __init__(self, waitables: Iterable[Waitable]) -> None:
         self.waitables = list(waitables)
         if not self.waitables:
             raise SimulationError("AnyOf needs at least one waitable")
 
-    def _subscribe(self, sim, callback):
+    def _subscribe(self, sim: "Simulator", callback: DoneCallback) -> Unsubscribe:
         state = {"done": False}
-        unsubs: list[Callable] = []
+        unsubs: list[Unsubscribe] = []
 
-        def make_child(i):
-            def child_done(value, exc):
+        def make_child(i: int) -> DoneCallback:
+            def child_done(value: Any, exc: Optional[BaseException]) -> None:
                 if state["done"]:
                     return
                 state["done"] = True
@@ -222,7 +231,7 @@ class AnyOf(Waitable):
         for i, w in enumerate(self.waitables):
             unsubs.append(w._subscribe(sim, make_child(i)))
 
-        def unsubscribe():
+        def unsubscribe() -> None:
             for u in unsubs:
                 u()
 
@@ -242,17 +251,17 @@ class Process(Waitable):
 
     __slots__ = ("sim", "gen", "name", "done", "_current_unsub", "_result_consumed")
 
-    def __init__(self, sim: "Simulator", gen: ProcessGenerator, name: str = ""):
+    def __init__(self, sim: "Simulator", gen: ProcessGenerator, name: str = "") -> None:
         self.sim = sim
         self.gen = gen
         self.name = name or getattr(gen, "__name__", "process")
         self.done = Signal(sim, name=f"done:{self.name}")
-        self._current_unsub: Optional[Callable] = None
+        self._current_unsub: Optional[Unsubscribe] = None
         # Start on the next tick so the creator finishes its own step first.
         sim.schedule(0.0, self._step, None, None)
 
     # -- waitable protocol ------------------------------------------------
-    def _subscribe(self, sim, callback):
+    def _subscribe(self, sim: "Simulator", callback: DoneCallback) -> Unsubscribe:
         # A join counts as observing the process's outcome: its exception
         # (if any) is delivered to the joiner instead of Simulator.run().
         self.sim._joined.add(id(self))
@@ -273,7 +282,7 @@ class Process(Waitable):
             # An interrupt escaping the generator terminates it quietly.
             self.done.succeed(intr.cause)
             return
-        except BaseException as err:  # noqa: BLE001 - deliver to joiners
+        except BaseException as err:  # simlint: disable=SL006 -- the kernel delivers the exception to joiners via done.fail; Simulator.run re-raises it if unobserved
             self.sim._record_failure(self, err)
             self.done.fail(err)
             return
@@ -323,7 +332,11 @@ class Simulator:
             return sim.now
         proc = sim.process(worker())
         sim.run()
-        assert proc.result == 1.0
+        assert math.isclose(proc.result, 1.0)
+
+    (``0.0 + 1.0`` happens to be exact in binary floating point, but
+    simulated timestamps are generally sums of many float delays, so
+    per SL003 comparisons against them use :func:`math.isclose`.)
     """
 
     def __init__(self) -> None:
@@ -335,7 +348,7 @@ class Simulator:
         #: optional :class:`repro.obs.MetricsRegistry`; purely passive —
         #: the kernel writes counters into it but never reads it, so
         #: attaching one cannot change scheduling decisions.
-        self.metrics = None
+        self.metrics: Optional[Any] = None
         #: optional callable ``probe(t_new)`` invoked whenever the clock
         #: is about to advance to ``t_new`` (strictly greater than
         #: ``now``), *before* the event at ``t_new`` executes.  Between
@@ -345,10 +358,10 @@ class Simulator:
         #: schedule events and never mutate simulation state, so
         #: attaching one cannot change modelled results (the
         #: :class:`repro.obs.timeline.TimelineSampler` rides this hook).
-        self.time_probe = None
+        self.time_probe: Optional[Callable[[float], None]] = None
 
     # -- scheduling --------------------------------------------------------
-    def schedule(self, delay: float, fn: Callable, *args: Any) -> EventHandle:
+    def schedule(self, delay: float, fn: Callable[..., Any], *args: Any) -> EventHandle:
         """Run ``fn(*args)`` after ``delay`` simulated seconds."""
         if delay < 0:
             raise SimulationError(f"cannot schedule in the past (delay={delay})")

@@ -19,7 +19,7 @@ from __future__ import annotations
 from typing import Dict, Generator, List, Optional
 
 from repro.daos.pool import Target
-from repro.errors import ConfigError
+from repro.errors import ConfigError, NotFoundError
 from repro.sim.stats import PhaseRecorder
 from repro.workloads.common import DaosEnv, PhasedRunner, WorkloadConfig
 from repro.workloads.ior import engine_request_ops, uniform_target_charges
@@ -49,7 +49,7 @@ class FieldIoRunner(PhasedRunner):
         pool = self.env.pool
         try:
             return pool.get_container(self.container_label)
-        except Exception:
+        except NotFoundError:
             return pool.create_container(self.container_label, materialize=False)
 
     def _ensure_shared_kvs(self, cont):

@@ -25,7 +25,7 @@ from typing import Dict, Generator, List, Optional
 
 from repro.ceph.rados import CephPool
 from repro.daos.pool import Pool, Target
-from repro.errors import ConfigError
+from repro.errors import ConfigError, NotFoundError
 from repro.hdf5.daos_vol import Hdf5DaosVol, Hdf5VolParams
 from repro.hdf5.posix import Hdf5PosixFile, Hdf5PosixParams
 from repro.sim.stats import PhaseRecorder
@@ -182,7 +182,7 @@ def _once_container(pool: Pool, label: str, **props):
     measured window, see module docstring)."""
     try:
         return pool.get_container(label)
-    except Exception:
+    except NotFoundError:
         return pool.create_container(label, materialize=False, **props)
 
 

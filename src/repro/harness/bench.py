@@ -24,10 +24,17 @@ import argparse
 import json
 import subprocess
 import time
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 import repro.obs as obs_mod
-from repro.harness.figures import FIGURES, build_figure
+from repro.harness.cache import ResultCache
+from repro.harness.executor import (
+    ExecutionReport,
+    ParallelExecutor,
+    SerialExecutor,
+    execute_plan,
+)
+from repro.harness.figures import FIGURES, plan_figure
 
 __all__ = [
     "BENCH_SCHEMA",
@@ -39,8 +46,11 @@ __all__ = [
     "main",
 ]
 
-#: schema version of the BENCH json document
-BENCH_SCHEMA = 1
+#: schema version of the BENCH json document.  Version 2 added the
+#: ``executor``/``cache`` top-level fields and the per-figure
+#: ``execution`` record (plan sizes, dedup, executed points);
+#: ``tools/bench_compare.py`` accepts 1 and 2.
+BENCH_SCHEMA = 2
 
 
 def git_sha(short: bool = True) -> str:
@@ -60,7 +70,12 @@ def bench_filename(sha: Optional[str] = None) -> str:
     return f"BENCH_{sha or git_sha()}.json"
 
 
-def figure_record(result, wall_seconds: float, events: int) -> Dict:
+def figure_record(
+    result,
+    wall_seconds: float,
+    events: int,
+    execution: Optional[ExecutionReport] = None,
+) -> Dict:
     """One figure's BENCH entry from its result + host-side cost."""
     series: Dict[str, Dict] = {}
     for panel, rows in sorted(result.panels.items()):
@@ -71,7 +86,7 @@ def figure_record(result, wall_seconds: float, events: int) -> Dict:
                 "stds": list(s.stds),
                 "unit": s.unit,
             }
-    return {
+    rec = {
         "title": result.title,
         "wall_seconds": wall_seconds,
         "events": events,
@@ -80,6 +95,13 @@ def figure_record(result, wall_seconds: float, events: int) -> Dict:
         "checks_total": len(result.checks),
         "series": series,
     }
+    if execution is not None:
+        exec_doc = execution.as_dict()
+        # cumulative cache stats live at the document top level; the
+        # per-figure entry keeps only the plan/execution accounting
+        exec_doc.pop("cache", None)
+        rec["execution"] = exec_doc
+    return rec
 
 
 def collect_bench(
@@ -87,13 +109,19 @@ def collect_bench(
     scale: str = "quick",
     sha: Optional[str] = None,
     verbose: bool = False,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
 ) -> Dict:
     """Run the figures and assemble the full BENCH document."""
     fig_ids = list(figures) if figures else sorted(FIGURES)
+    executor = ParallelExecutor(jobs=jobs) if jobs > 1 else SerialExecutor()
+    cache = ResultCache(cache_dir) if cache_dir else None
     doc: Dict = {
         "schema": BENCH_SCHEMA,
         "git_sha": sha or git_sha(),
         "scale": scale,
+        "executor": {"jobs": executor.jobs},
+        "cache": None,  # cumulative stats filled in after the loop
         "figures": {},
     }
     for fig_id in fig_ids:
@@ -103,11 +131,15 @@ def collect_bench(
         obs = obs_mod.Observability()
         t0 = time.perf_counter()
         with obs_mod.activated(obs):
-            result = build_figure(fig_id, scale=scale)
+            result, report = execute_plan(
+                plan_figure(fig_id, scale), executor=executor, cache=cache
+            )
         wall = time.perf_counter() - t0
         obs.finalize()
         events = int(obs.registry.counter("sim.events_executed").value)
-        doc["figures"][fig_id] = figure_record(result, wall, events)
+        doc["figures"][fig_id] = figure_record(
+            result, wall, events, execution=report
+        )
         if verbose:
             rec = doc["figures"][fig_id]
             print(
@@ -115,6 +147,10 @@ def collect_bench(
                 f"{rec['events_per_second']:>10.0f} ev/s  "
                 f"checks {rec['checks_passed']}/{rec['checks_total']}"
             )
+    if cache is not None:
+        doc["cache"] = cache.stats.as_dict()
+        if verbose:
+            print(f"cache: {cache.stats.summary()}")
     return doc
 
 
@@ -141,14 +177,27 @@ def main(argv=None) -> int:
         "--figures", metavar="IDS", default=None,
         help=f"comma-separated figure ids (default: all of {sorted(FIGURES)})",
     )
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="execute points across N worker processes (default: 1)",
+    )
+    parser.add_argument(
+        "--cache-dir", metavar="PATH", default=None,
+        help="content-addressed result cache directory (default: none)",
+    )
     args = parser.parse_args(argv)
+    if args.jobs < 1:
+        parser.error(f"--jobs must be >= 1, got {args.jobs}")
     figures = args.figures.split(",") if args.figures else None
     if figures:
         unknown = [f for f in figures if f not in FIGURES]
         if unknown:
             parser.error(f"unknown figure(s) {unknown}; known: {sorted(FIGURES)}")
     sha = git_sha()
-    doc = collect_bench(figures=figures, scale=args.scale, sha=sha, verbose=True)
+    doc = collect_bench(
+        figures=figures, scale=args.scale, sha=sha, verbose=True,
+        jobs=args.jobs, cache_dir=args.cache_dir,
+    )
     out = args.out or bench_filename(sha)
     write_bench(doc, out)
     total = sum(rec["wall_seconds"] for rec in doc["figures"].values())

@@ -19,6 +19,13 @@ wall-clock per figure into a BENCH json for ``tools/bench_compare.py``.
 Each flag activates the observability layer for the whole build;
 instrumentation never changes the simulated numbers (see
 docs/OBSERVABILITY.md).
+
+Execution is planned: every figure is a declarative run plan handed to
+an executor (``--jobs N`` fans points out over N worker processes) with
+an optional content-addressed on-disk result cache (``--cache-dir``).
+Modelled numbers are bit-identical whatever the jobs count or cache
+temperature — see docs/EXECUTION.md.  ``--series-json`` dumps every
+series at full float precision, which is how CI asserts that identity.
 """
 
 from __future__ import annotations
@@ -29,8 +36,25 @@ import sys
 import time
 
 import repro.obs as obs_mod
-from repro.harness.figures import FIGURES, build_figure
+from repro.harness.cache import ResultCache
+from repro.harness.executor import ParallelExecutor, SerialExecutor, execute_plan
+from repro.harness.figures import FIGURES, plan_figure
 from repro.harness.report import render_figure, render_markdown
+
+
+def _series_doc(result) -> dict:
+    """Every series of a figure, full float precision (shortest
+    round-trip repr via json), keyed ``panel/label``."""
+    doc = {}
+    for panel, rows in sorted(result.panels.items()):
+        for s in rows:
+            doc[f"{panel}/{s.label}"] = {
+                "xs": list(s.xs),
+                "means": list(s.means),
+                "stds": list(s.stds),
+                "unit": s.unit,
+            }
+    return doc
 
 
 def main(argv=None) -> int:
@@ -78,7 +102,28 @@ def main(argv=None) -> int:
         help="record modelled results + host wall-clock per figure into "
              "a BENCH json (see tools/bench_compare.py)",
     )
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="execute figure points across N worker processes "
+             "(default: 1, in-process serial execution)",
+    )
+    parser.add_argument(
+        "--cache-dir", metavar="PATH",
+        help="content-addressed result cache directory; previously "
+             "executed points are served from disk",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="ignore --cache-dir (neither read nor write the cache)",
+    )
+    parser.add_argument(
+        "--series-json", metavar="PATH",
+        help="dump every figure's series (full float precision) to this "
+             "JSON file — for byte-identity diffs across executors/caches",
+    )
     args = parser.parse_args(argv)
+    if args.jobs < 1:
+        parser.error(f"--jobs must be >= 1, got {args.jobs}")
 
     fig_ids = sorted(FIGURES) if args.figure == "all" else [args.figure]
     if any(f not in FIGURES for f in fig_ids):
@@ -92,10 +137,19 @@ def main(argv=None) -> int:
         obs_mod.TimelineConfig(interval=args.timeline_interval)
         if args.timeline else None
     )
+    executor = (
+        ParallelExecutor(jobs=args.jobs) if args.jobs > 1 else SerialExecutor()
+    )
+    cache = (
+        ResultCache(args.cache_dir)
+        if args.cache_dir and not args.no_cache
+        else None
+    )
     md_blocks = []
     traced = []
     timelines = []
     metrics_doc = {}
+    series_doc = {}
     bench_doc = None
     if args.bench:
         from repro.harness.bench import BENCH_SCHEMA, figure_record, git_sha
@@ -104,6 +158,8 @@ def main(argv=None) -> int:
             "schema": BENCH_SCHEMA,
             "git_sha": git_sha(),
             "scale": args.scale,
+            "executor": {"jobs": executor.jobs},
+            "cache": None,  # cumulative stats filled in after the loop
             "figures": {},
         }
     failures = 0
@@ -113,7 +169,9 @@ def main(argv=None) -> int:
         )
         t0 = time.perf_counter()
         with obs_mod.activated(obs):
-            result = build_figure(fig_id, scale=args.scale)
+            result, exec_report = execute_plan(
+                plan_figure(fig_id, args.scale), executor=executor, cache=cache
+            )
         wall = time.perf_counter() - t0
         if obs is not None:
             obs.finalize()
@@ -121,9 +179,14 @@ def main(argv=None) -> int:
         if args.metrics and obs is not None:
             print()
             print(obs.registry.render_table())
-        print(f"(built in {wall:.1f}s at scale={args.scale})\n")
+        print(
+            f"(built in {wall:.1f}s at scale={args.scale}; "
+            f"{exec_report.summary()})\n"
+        )
         md_blocks.append(render_markdown(result))
         failures += sum(1 for c in result.checks if not c.passed)
+        if args.series_json:
+            series_doc[fig_id] = _series_doc(result)
         if obs is not None:
             traced.append((fig_id, obs.tracer))
             timelines.extend(obs.timelines)
@@ -131,7 +194,13 @@ def main(argv=None) -> int:
                 metrics_doc[fig_id] = obs.registry.snapshot()
             if bench_doc is not None:
                 events = int(obs.registry.counter("sim.events_executed").value)
-                bench_doc["figures"][fig_id] = figure_record(result, wall, events)
+                bench_doc["figures"][fig_id] = figure_record(
+                    result, wall, events, execution=exec_report
+                )
+    if cache is not None:
+        print(f"cache: {cache.stats.summary()} -> {cache.root}")
+        if bench_doc is not None:
+            bench_doc["cache"] = cache.stats.as_dict()
     if args.trace:
         n = obs_mod.export_chrome_trace(args.trace, traced)
         print(f"{n} trace events written to {args.trace}")
@@ -152,6 +221,11 @@ def main(argv=None) -> int:
 
         write_bench(bench_doc, args.bench)
         print(f"bench record written to {args.bench}")
+    if args.series_json:
+        with open(args.series_json, "w") as fh:
+            json.dump(series_doc, fh, indent=1, sort_keys=True)
+            fh.write("\n")
+        print(f"series dump written to {args.series_json}")
     if args.markdown:
         with open(args.markdown, "a") as fh:
             fh.write("\n\n".join(md_blocks) + "\n")

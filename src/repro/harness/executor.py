@@ -1,0 +1,254 @@
+"""Executors: satisfy a plan's point demand, serially or in parallel.
+
+The contract every executor honours: **the modelled numbers are a pure
+function of the task list**.  Per-point seeds come from
+:func:`repro.harness.experiment.point_seed` (a stable content hash), so
+running the same tasks serially, across N worker processes, in any
+order, yields bit-identical :class:`PointResult`\\ s — the executor only
+decides *where and when* the simulations run, never *what they
+compute*.
+
+Observability under parallel execution: a worker process cannot write
+into the parent's registry, so each worker observes its points with a
+private :class:`repro.obs.Observability`, ships the picklable
+:meth:`dump <repro.obs.Observability.dump>` back with the result, and
+the parent :meth:`absorb <repro.obs.Observability.absorb>`\\ s payloads
+in task order.  ``--trace``, ``--metrics`` and ``--timeline`` therefore
+keep working unchanged under ``--jobs N``; the merged counters equal
+the serial run's exactly.
+
+Wall-clock note: this module intentionally reads the host clock
+(``time.perf_counter``) to report executor cost — it is on the simlint
+SL001 allowlist precisely because this timing wraps *around* the
+simulations and can never leak into modelled results.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import Future, ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    List,
+    Optional,
+    Protocol,
+    Sequence,
+    Tuple,
+)
+
+import repro.obs as obs_mod
+from repro.errors import ConfigError
+from repro.harness.cache import CacheStats, ResultCache
+from repro.harness.experiment import PointResult, PointSpec, run_point
+from repro.harness.plan import PlanBatch, RunPlan, dedupe_plans
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (figures imports us)
+    from repro.harness.figures import FigureResult
+
+__all__ = [
+    "PointTask",
+    "Executor",
+    "SerialExecutor",
+    "ParallelExecutor",
+    "ExecutionReport",
+    "execute_plan",
+    "execute_plans",
+]
+
+
+@dataclass(frozen=True)
+class PointTask:
+    """One unit of executor work: a spec plus its aggregation params."""
+
+    spec: PointSpec
+    reps: int
+    base_seed: int = 0
+
+
+class Executor(Protocol):
+    """Anything that can turn tasks into results, order-preserving."""
+
+    #: worker-process count (1 for in-process executors); recorded in
+    #: BENCH documents so wall-clock numbers are comparable
+    jobs: int
+
+    def run_tasks(self, tasks: Sequence[PointTask]) -> List[PointResult]:
+        """Execute every task; ``result[i]`` corresponds to ``tasks[i]``."""
+        ...
+
+
+class SerialExecutor:
+    """In-process, in-order execution (the pre-plan behaviour).
+
+    Runs under whatever observability is ambient, binding clusters
+    directly — no serialisation round-trip."""
+
+    jobs = 1
+
+    def run_tasks(self, tasks: Sequence[PointTask]) -> List[PointResult]:
+        return [
+            run_point(t.spec, reps=t.reps, base_seed=t.base_seed) for t in tasks
+        ]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "SerialExecutor()"
+
+
+def _run_task_observed(
+    task: PointTask,
+    observe: bool,
+    timeline: Optional[obs_mod.TimelineConfig],
+) -> Tuple[PointResult, Optional[Dict[str, Any]]]:
+    """Worker-side entry point (module-level, hence picklable).
+
+    Explicitly controls the ambient observability: under a forking
+    start method the child would otherwise inherit the parent's active
+    Observability and mutate a copy nobody reads.
+    """
+    if not observe:
+        with obs_mod.activated(None):
+            return run_point(task.spec, reps=task.reps, base_seed=task.base_seed), None
+    obs = obs_mod.Observability(timeline=timeline)
+    with obs_mod.activated(obs):
+        result = run_point(task.spec, reps=task.reps, base_seed=task.base_seed)
+    obs.finalize()
+    return result, obs.dump()
+
+
+class ParallelExecutor:
+    """Fan tasks out over a :class:`~concurrent.futures.ProcessPoolExecutor`.
+
+    ``jobs`` worker processes execute points concurrently; results are
+    collected (and observability payloads absorbed) in submission
+    order, so output and merged telemetry are deterministic regardless
+    of completion order.
+    """
+
+    def __init__(self, jobs: int = 2):
+        if jobs < 1:
+            raise ConfigError(f"ParallelExecutor needs jobs >= 1, got {jobs}")
+        self.jobs = jobs
+
+    def run_tasks(self, tasks: Sequence[PointTask]) -> List[PointResult]:
+        if not tasks:
+            return []
+        parent_obs = obs_mod.current()
+        observe = parent_obs is not None
+        timeline = parent_obs.timeline_config if parent_obs is not None else None
+        results: List[PointResult] = []
+        with ProcessPoolExecutor(max_workers=min(self.jobs, len(tasks))) as pool:
+            futures: List["Future[Tuple[PointResult, Optional[Dict[str, Any]]]]"] = [
+                pool.submit(_run_task_observed, task, observe, timeline)
+                for task in tasks
+            ]
+            for future in futures:
+                result, payload = future.result()
+                if payload is not None and parent_obs is not None:
+                    parent_obs.absorb(payload)
+                results.append(result)
+        return results
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ParallelExecutor(jobs={self.jobs})"
+
+
+@dataclass
+class ExecutionReport:
+    """What satisfying a batch of plans cost, and where the work went."""
+
+    jobs: int = 1
+    requested_points: int = 0
+    planned_points: int = 0
+    unique_points: int = 0
+    executed_points: int = 0
+    wall_seconds: float = 0.0
+    cache: Optional[CacheStats] = None
+
+    @property
+    def deduped_points(self) -> int:
+        return self.requested_points - self.unique_points
+
+    def as_dict(self) -> Dict[str, Any]:
+        doc: Dict[str, Any] = {
+            "jobs": self.jobs,
+            "requested_points": self.requested_points,
+            "planned_points": self.planned_points,
+            "unique_points": self.unique_points,
+            "deduped_points": self.deduped_points,
+            "executed_points": self.executed_points,
+            "wall_seconds": self.wall_seconds,
+        }
+        doc["cache"] = self.cache.as_dict() if self.cache is not None else None
+        return doc
+
+    def summary(self) -> str:
+        parts = [
+            f"{self.unique_points} unique points "
+            f"({self.deduped_points} deduplicated of {self.requested_points} requested)",
+            f"{self.executed_points} executed with jobs={self.jobs} "
+            f"in {self.wall_seconds:.1f}s",
+        ]
+        if self.cache is not None:
+            parts.append(f"cache: {self.cache.summary()}")
+        return "; ".join(parts)
+
+
+def execute_plans(
+    plans: Sequence[RunPlan],
+    executor: Optional[Executor] = None,
+    cache: Optional[ResultCache] = None,
+    base_seed: int = 0,
+) -> Tuple[List["FigureResult"], ExecutionReport]:
+    """Satisfy several plans at once and assemble their figures.
+
+    Pipeline: dedupe points across figures -> serve what the cache
+    holds -> hand the misses to the executor -> store fresh results ->
+    run each plan's pure assembly.  Returns the figures (plan order)
+    and an :class:`ExecutionReport`.
+    """
+    executor = executor if executor is not None else SerialExecutor()
+    batch: PlanBatch = dedupe_plans(plans)
+    report = ExecutionReport(
+        jobs=executor.jobs,
+        requested_points=batch.requested_points,
+        planned_points=batch.planned_points,
+        unique_points=batch.unique_points,
+        cache=cache.stats if cache is not None else None,
+    )
+    pool: Dict[Tuple[PointSpec, int], PointResult] = {}
+    misses: List[PointTask] = []
+    for spec, reps in batch.tasks:
+        cached = cache.get(spec, reps, base_seed) if cache is not None else None
+        if cached is not None:
+            pool[(spec, reps)] = cached
+        else:
+            misses.append(PointTask(spec=spec, reps=reps, base_seed=base_seed))
+    t0 = time.perf_counter()
+    fresh = executor.run_tasks(misses)
+    report.wall_seconds = time.perf_counter() - t0
+    report.executed_points = len(misses)
+    for task, result in zip(misses, fresh):
+        pool[(task.spec, task.reps)] = result
+        if cache is not None:
+            cache.put(result, base_seed=base_seed)
+    figures: List["FigureResult"] = []
+    for plan in batch.plans:
+        results = {spec: pool[(spec, plan.reps)] for spec in plan.specs}
+        figures.append(plan.assemble(results))
+    return figures, report
+
+
+def execute_plan(
+    plan: RunPlan,
+    executor: Optional[Executor] = None,
+    cache: Optional[ResultCache] = None,
+    base_seed: int = 0,
+) -> Tuple["FigureResult", ExecutionReport]:
+    """Single-plan convenience wrapper around :func:`execute_plans`."""
+    figures, report = execute_plans(
+        [plan], executor=executor, cache=cache, base_seed=base_seed
+    )
+    return figures[0], report

@@ -6,11 +6,31 @@ bandwidths are shown in the figures."  :func:`run_point` builds a fresh
 cluster per repetition (seeded differently, so placement hashes and
 overhead jitter vary), runs the workload, and aggregates with
 :func:`repro.sim.stats.mean_std`.
+
+Seeding scheme
+--------------
+Every repetition's cluster seed is :func:`point_seed`, a stable 63-bit
+integer derived by SHA-256 from the *content* of the point —
+``(spec_token(spec), rep, base_seed)`` — rather than from the position
+of the run in some sweep.  Consequences the rest of the harness relies
+on:
+
+- **no collisions by construction**: the retired ``base_seed * 1000 +
+  rep`` scheme collided as soon as ``rep >= 1000`` or two base seeds
+  were 1 apart in units of 1000; hash-derived seeds only collide if
+  SHA-256 does;
+- **executor independence**: a point's seed does not depend on which
+  worker runs it, in what order, or alongside which other points, so
+  serial, process-pool, and cached executions are bit-identical;
+- **spec sensitivity**: changing any field of the spec decorrelates the
+  random stream, so figure points never share placement jitter just
+  because they were enumerated at the same sweep index.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+import hashlib
+from dataclasses import dataclass, field, fields, replace
 from typing import Dict, Optional, Tuple
 
 import repro.obs
@@ -22,11 +42,26 @@ from repro.workloads.common import CephEnv, DaosEnv, LustreEnv, WorkloadConfig
 from repro.workloads.fdb_hammer import run_fdb_hammer
 from repro.workloads.fieldio import run_fieldio
 from repro.workloads.ior import run_ior
+from repro.workloads.rawio import measure_dd, measure_iperf
 
-__all__ = ["PointSpec", "PointResult", "run_point"]
+__all__ = [
+    "MODEL_VERSION",
+    "PointSpec",
+    "PointResult",
+    "point_seed",
+    "run_point",
+    "spec_token",
+]
+
+#: Version tag of the simulation model's semantics.  Bump whenever a
+#: change alters modelled numbers (seeding scheme, flow-network rates,
+#: overhead constants, ...) so the on-disk result cache invalidates
+#: stale entries instead of serving results from an older model.
+MODEL_VERSION = "2"
 
 _STORES = ("daos", "lustre", "ceph")
-_WORKLOADS = ("ior", "fieldio", "fdb")
+_WORKLOADS = ("ior", "fieldio", "fdb", "rawio")
+_RAWIO_PROBES = ("dd", "iperf")
 
 
 @dataclass(frozen=True)
@@ -53,6 +88,10 @@ class PointSpec:
             raise ConfigError(f"unknown store {self.store!r}")
         if self.workload not in _WORKLOADS:
             raise ConfigError(f"unknown workload {self.workload!r}")
+        if self.workload == "rawio" and self.api not in _RAWIO_PROBES:
+            raise ConfigError(
+                f"rawio probe must be one of {_RAWIO_PROBES}, got {self.api!r}"
+            )
 
     def with_(self, **kwargs) -> "PointSpec":
         return replace(self, **kwargs)
@@ -84,6 +123,30 @@ class PointResult:
         return (self.write_iops if phase == "write" else self.read_iops)[0]
 
 
+def spec_token(spec: PointSpec) -> str:
+    """Canonical, process-independent text encoding of a spec.
+
+    Field order is the dataclass definition order (stable in source),
+    values are ``repr``s of plain ints/strings/tuples, so the token is
+    identical across interpreter runs and worker processes (it never
+    depends on ``PYTHONHASHSEED``).  Both the seed derivation and the
+    result cache key hash this token.
+    """
+    parts = [f"{f.name}={getattr(spec, f.name)!r}" for f in fields(spec)]
+    return "PointSpec(" + ", ".join(parts) + ")"
+
+
+def point_seed(spec: PointSpec, rep: int, base_seed: int = 0) -> int:
+    """Stable 63-bit seed for one repetition of one point.
+
+    Derived by SHA-256 over ``(spec_token(spec), rep, base_seed)`` —
+    see the module docstring for the properties this guarantees.
+    """
+    payload = f"{spec_token(spec)}|rep={rep}|base={base_seed}".encode()
+    digest = hashlib.sha256(payload).digest()
+    return int.from_bytes(digest[:8], "big") >> 1  # non-negative 63-bit
+
+
 def _build_env(spec: PointSpec, seed: int):
     cluster = Cluster(
         n_servers=spec.n_servers, n_clients=spec.n_client_nodes, seed=seed
@@ -95,7 +158,28 @@ def _build_env(spec: PointSpec, seed: int):
     return CephEnv(cluster)
 
 
-def _run_once(spec: PointSpec, seed: int):
+def _run_rawio(spec: PointSpec, seed: int) -> Tuple[float, float, float, float]:
+    """Hardware probes (paper Sec. III-A) as plannable points."""
+    cluster = Cluster(
+        n_servers=spec.n_servers, n_clients=spec.n_client_nodes, seed=seed
+    )
+    extra = spec.extra_kwargs
+    if spec.api == "dd":
+        dd = measure_dd(cluster, **extra)
+        phases = (dd.write_bw, dd.read_bw)
+    else:
+        bw = measure_iperf(cluster, **extra)
+        phases = (bw, bw)
+    if cluster.obs is not None:
+        cluster.obs.finalize_run(cluster)
+    return phases[0], phases[1], 0.0, 0.0
+
+
+def _run_once(spec: PointSpec, seed: int) -> Tuple[float, float, float, float]:
+    """One seeded simulation; returns (write B/s, read B/s, write op/s,
+    read op/s)."""
+    if spec.workload == "rawio":
+        return _run_rawio(spec, seed)
     env = _build_env(spec, seed)
     cfg = WorkloadConfig(
         n_client_nodes=spec.n_client_nodes,
@@ -115,13 +199,26 @@ def _run_once(spec: PointSpec, seed: int):
         recorder = run_fdb_hammer(env, cfg, spec.api, **spec.extra_kwargs)
     if env.cluster.obs is not None:
         env.cluster.obs.finalize_run(env.cluster)
-    return recorder
+    return (
+        recorder.bandwidth("write"),
+        recorder.bandwidth("read"),
+        recorder.iops("write"),
+        recorder.iops("read"),
+    )
 
 
 def run_point(
     spec: PointSpec, reps: int = 3, base_seed: int = 0, obs=None
 ) -> PointResult:
     """Run ``reps`` repetitions and aggregate (paper methodology).
+
+    Repetition ``rep`` is seeded with ``point_seed(spec, rep,
+    base_seed)``, so the result is a pure function of ``(spec, reps,
+    base_seed)`` — independent of process, executor, and run order.
+    This function is picklable-by-reference (a plain module-level
+    callable of picklable arguments), which is what lets
+    :class:`repro.harness.executor.ParallelExecutor` ship points to
+    worker processes unchanged.
 
     ``obs`` optionally activates a :class:`repro.obs.Observability` for
     the duration (equivalent to wrapping the call in
@@ -135,11 +232,11 @@ def run_point(
             return run_point(spec, reps=reps, base_seed=base_seed)
     w_bw, r_bw, w_io, r_io = [], [], [], []
     for rep in range(reps):
-        recorder = _run_once(spec, seed=base_seed * 1000 + rep)
-        w_bw.append(recorder.bandwidth("write"))
-        r_bw.append(recorder.bandwidth("read"))
-        w_io.append(recorder.iops("write"))
-        r_io.append(recorder.iops("read"))
+        w, r, wi, ri = _run_once(spec, seed=point_seed(spec, rep, base_seed))
+        w_bw.append(w)
+        r_bw.append(r)
+        w_io.append(wi)
+        r_io.append(ri)
     return PointResult(
         spec=spec,
         write_bw=mean_std(w_bw),

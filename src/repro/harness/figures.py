@@ -1,11 +1,20 @@
-"""Every figure and table of the paper as a runnable experiment.
+"""Every figure and table of the paper as a declarative run plan.
 
-Each builder returns a :class:`FigureResult` containing the measured
-series (mean +/- std over repetitions), the paper's expectation in
-prose, and automated *shape checks* transcribed from the paper's
-artifact-description appendix ("Expected Results").  Absolute GiB/s
-equality with the paper's testbed is not asserted — who wins, by what
-rough factor, and where scaling stops, is.
+Each builder emits a :class:`~repro.harness.plan.RunPlan` — the ordered
+set of :class:`PointSpec`\\ s the figure needs plus a **pure assembly
+function** that turns executed ``{spec: PointResult}`` results into a
+:class:`FigureResult` containing the measured series (mean +/- std over
+repetitions), the paper's expectation in prose, and automated *shape
+checks* transcribed from the paper's artifact-description appendix
+("Expected Results").  Absolute GiB/s equality with the paper's testbed
+is not asserted — who wins, by what rough factor, and where scaling
+stops, is.
+
+Builders never run simulations themselves: :func:`build_figure` hands
+the plan to an executor (serial by default; see
+:mod:`repro.harness.executor` for the process-pool variant and
+:mod:`repro.harness.cache` for the on-disk result cache), which is what
+makes figure runs parallelisable, deduplicatable, and incremental.
 
 Builders accept ``scale``:
 
@@ -17,15 +26,26 @@ Builders accept ``scale``:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.errors import ConfigError
-from repro.harness.experiment import PointResult, PointSpec, run_point
+from repro.harness.cache import ResultCache
+from repro.harness.executor import Executor, execute_plan
+from repro.harness.experiment import PointResult, PointSpec
+from repro.harness.plan import RunPlan, make_plan
 from repro.units import GiB, KiB, MiB
-from repro.workloads.rawio import measure_dd, measure_iperf
-from repro.hardware.cluster import Cluster
 
-__all__ = ["Series", "Check", "FigureResult", "FIGURES", "build_figure"]
+__all__ = [
+    "Series",
+    "Check",
+    "FigureResult",
+    "FIGURES",
+    "plan_figure",
+    "build_figure",
+]
+
+#: executed results, keyed by the specs a plan demanded
+Results = Mapping[PointSpec, PointResult]
 
 
 @dataclass
@@ -43,7 +63,14 @@ class Series:
         return max(self.means) if self.means else 0.0
 
     def at(self, x: float) -> float:
-        return self.means[self.xs.index(x)]
+        try:
+            index = self.xs.index(x)
+        except ValueError:
+            raise ConfigError(
+                f"series {self.label!r} has no point at x={x!r}; "
+                f"available xs: {self.xs}"
+            ) from None
+        return self.means[index]
 
 
 @dataclass
@@ -101,11 +128,19 @@ def _grids(scale: str) -> dict:
     raise ConfigError(f"unknown scale {scale!r}; use 'quick' or 'full'")
 
 
-def _sweep_ppn(
-    base: PointSpec, ppns: Sequence[int], reps: int, unit: str = "GiB/s"
-) -> Tuple[Series, Series, List[PointResult]]:
-    """Run a ppn sweep; returns (write series, read series, raw points)."""
-    results = [run_point(base.with_(ppn=p), reps=reps) for p in ppns]
+def _ppn_specs(base: PointSpec, ppns: Sequence[int]) -> List[PointSpec]:
+    """The specs a ppn sweep demands (plan side of :func:`_sweep_series`)."""
+    return [base.with_(ppn=p) for p in ppns]
+
+
+def _sweep_series(
+    results: Results,
+    base: PointSpec,
+    ppns: Sequence[int],
+    unit: str = "GiB/s",
+) -> Tuple[Series, Series]:
+    """Assemble a ppn sweep's (write, read) series from executed results."""
+    points = [results[base.with_(ppn=p)] for p in ppns]
     scale = GiB if unit == "GiB/s" else 1.0
 
     def series(phase: str) -> Series:
@@ -115,12 +150,12 @@ def _sweep_ppn(
         return Series(
             label="",
             xs=[base.n_client_nodes * p for p in ppns],
-            means=[getattr(r, attr)[0] / scale for r in results],
-            stds=[getattr(r, attr)[1] / scale for r in results],
+            means=[getattr(r, attr)[0] / scale for r in points],
+            stds=[getattr(r, attr)[1] / scale for r in points],
             unit=unit,
         )
 
-    return series("write"), series("read"), results
+    return series("write"), series("read")
 
 
 def _check_band(name: str, value: float, lo: float, hi: float) -> Check:
@@ -145,45 +180,59 @@ def _read_roofline(n_servers: int, n_clients: int = 1000) -> float:
 # ----------------------------------------------------------------------- HW
 
 
-def fig_hw(scale: str = "quick") -> FigureResult:
+def plan_hw(scale: str = "quick") -> RunPlan:
     """Section III-A: raw device and network bandwidth probes."""
-    cluster = Cluster(n_servers=1, n_clients=1, seed=0)
-    dd = measure_dd(cluster, blocks=5)
-    cluster2 = Cluster(n_servers=1, n_clients=1, seed=0)
-    iperf_bw = measure_iperf(cluster2)
-    rows = [
-        Series("dd write (16 drives)", [0], [dd.write_bw / GiB], [0.0]),
-        Series("dd read (16 drives)", [0], [dd.read_bw / GiB], [0.0]),
-        Series("iperf client->server", [0], [iperf_bw / GiB], [0.0]),
-    ]
-    checks = [
-        _check_band("aggregate dd write GiB/s", dd.write_bw / GiB, 3.82, 3.90),
-        _check_band("aggregate dd read GiB/s", dd.read_bw / GiB, 6.93, 7.07),
-        _check_band("iperf GiB/s", iperf_bw / GiB, 6.18, 6.32),
-    ]
-    return FigureResult(
-        fig_id="HW",
-        title="Hardware bandwidth (Sec. III-A)",
-        xlabel="-",
-        panels={"bandwidth": rows},
-        paper_expectation=(
-            "3.86 GiB/s aggregate SSD write, 7 GiB/s aggregate SSD read, "
-            "50 Gbps (6.25 GiB/s) network per node"
-        ),
-        checks=checks,
+    dd_spec = PointSpec(
+        workload="rawio", store="daos", api="dd",
+        n_servers=1, n_client_nodes=1, extra=(("blocks", 5),),
     )
+    iperf_spec = PointSpec(
+        workload="rawio", store="daos", api="iperf",
+        n_servers=1, n_client_nodes=1,
+    )
+
+    def assemble(results: Results) -> FigureResult:
+        dd = results[dd_spec]
+        iperf = results[iperf_spec]
+        dd_w, dd_r = dd.write_bw[0], dd.read_bw[0]
+        iperf_bw = iperf.write_bw[0]
+        rows = [
+            Series("dd write (16 drives)", [0], [dd_w / GiB], [0.0]),
+            Series("dd read (16 drives)", [0], [dd_r / GiB], [0.0]),
+            Series("iperf client->server", [0], [iperf_bw / GiB], [0.0]),
+        ]
+        checks = [
+            _check_band("aggregate dd write GiB/s", dd_w / GiB, 3.82, 3.90),
+            _check_band("aggregate dd read GiB/s", dd_r / GiB, 6.93, 7.07),
+            _check_band("iperf GiB/s", iperf_bw / GiB, 6.18, 6.32),
+        ]
+        return FigureResult(
+            fig_id="HW",
+            title="Hardware bandwidth (Sec. III-A)",
+            xlabel="-",
+            panels={"bandwidth": rows},
+            paper_expectation=(
+                "3.86 GiB/s aggregate SSD write, 7 GiB/s aggregate SSD read, "
+                "50 Gbps (6.25 GiB/s) network per node"
+            ),
+            checks=checks,
+        )
+
+    # the probes are deterministic single measurements, not repetition
+    # aggregates, so the plan pins reps=1 regardless of scale
+    _grids(scale)  # validate the scale name
+    return make_plan("HW", scale, 1, [dd_spec, iperf_spec], assemble)
 
 
 # ----------------------------------------------------------------------- F1
 
 
-def fig1(scale: str = "quick") -> FigureResult:
+def plan_fig1(scale: str = "quick") -> RunPlan:
     """IOR node/process optimisation with the four DAOS APIs."""
     g = _grids(scale)
     apis = ["DAOS", "DFS", "POSIX", "POSIX+IL"]
-    panels: Dict[str, List[Series]] = {"write": [], "read": []}
-    peaks: Dict[str, Dict[str, float]] = {"write": {}, "read": {}}
-    low_ppn: Dict[str, float] = {}
+    sweeps: List[Tuple[str, str, int, PointSpec]] = []
+    specs: List[PointSpec] = []
     for api in apis:
         for nodes in g["nodes"]:
             base = PointSpec(
@@ -191,8 +240,15 @@ def fig1(scale: str = "quick") -> FigureResult:
                 n_servers=16, n_client_nodes=nodes,
                 ops_per_process=g["ops"], object_class="SX",
             )
-            w, r, _ = _sweep_ppn(base, g["ppn"], g["reps"])
-            label = f"{api} ({nodes}cn)"
+            sweeps.append((f"{api} ({nodes}cn)", api, nodes, base))
+            specs.extend(_ppn_specs(base, g["ppn"]))
+
+    def assemble(results: Results) -> FigureResult:
+        panels: Dict[str, List[Series]] = {"write": [], "read": []}
+        peaks: Dict[str, Dict[str, float]] = {"write": {}, "read": {}}
+        low_ppn: Dict[str, float] = {}
+        for label, api, nodes, base in sweeps:
+            w, r = _sweep_series(results, base, g["ppn"])
             w.label, r.label = label, label
             panels["write"].append(w)
             panels["read"].append(r)
@@ -200,76 +256,87 @@ def fig1(scale: str = "quick") -> FigureResult:
             peaks["read"][api] = max(peaks["read"].get(api, 0.0), r.peak)
             if nodes == g["nodes"][0]:
                 low_ppn[api] = w.means[0]
-    checks = [
-        _check_band("peak write GiB/s (roofline 61.8)", max(peaks["write"].values()), 48.0, 61.8),
-        _check_band("peak read GiB/s (roofline 100)", max(peaks["read"].values()), 78.0, 100.0),
-    ]
-    for api in apis[1:]:
-        ratio = peaks["write"][api] / peaks["write"]["DAOS"]
+        checks = [
+            _check_band("peak write GiB/s (roofline 61.8)", max(peaks["write"].values()), 48.0, 61.8),
+            _check_band("peak read GiB/s (roofline 100)", max(peaks["read"].values()), 78.0, 100.0),
+        ]
+        for api in apis[1:]:
+            ratio = peaks["write"][api] / peaks["write"]["DAOS"]
+            checks.append(
+                _check(f"{api} peak write within 15% of libdaos", ratio >= 0.85, f"ratio {ratio:.2f}")
+            )
         checks.append(
-            _check(f"{api} peak write within 15% of libdaos", ratio >= 0.85, f"ratio {ratio:.2f}")
+            _check(
+                "libdaos leads at low process counts",
+                low_ppn["DAOS"] >= max(low_ppn["POSIX"], low_ppn["POSIX+IL"]) * 0.99,
+                f"libdaos {low_ppn['DAOS']:.1f} vs POSIX {low_ppn['POSIX']:.1f}",
+            )
         )
-    checks.append(
-        _check(
-            "libdaos leads at low process counts",
-            low_ppn["DAOS"] >= max(low_ppn["POSIX"], low_ppn["POSIX+IL"]) * 0.99,
-            f"libdaos {low_ppn['DAOS']:.1f} vs POSIX {low_ppn['POSIX']:.1f}",
+        return FigureResult(
+            fig_id="F1",
+            title="Fig. 1: IOR client/process optimisation, DAOS APIs, 16 servers",
+            xlabel="total processes",
+            panels=panels,
+            paper_expectation=(
+                "all APIs reach ~60 GiB/s write and ~90 GiB/s read, close to the "
+                "61.76/100-112 GiB/s rooflines; libdaos achieves high bandwidth "
+                "at lower process counts"
+            ),
+            checks=checks,
         )
-    )
-    return FigureResult(
-        fig_id="F1",
-        title="Fig. 1: IOR client/process optimisation, DAOS APIs, 16 servers",
-        xlabel="total processes",
-        panels=panels,
-        paper_expectation=(
-            "all APIs reach ~60 GiB/s write and ~90 GiB/s read, close to the "
-            "61.76/100-112 GiB/s rooflines; libdaos achieves high bandwidth "
-            "at lower process counts"
-        ),
-        checks=checks,
-    )
+
+    return make_plan("F1", scale, g["reps"], specs, assemble)
 
 
 # ----------------------------------------------------------------------- F2
 
 
-def fig2(scale: str = "quick") -> FigureResult:
+def plan_fig2(scale: str = "quick") -> RunPlan:
     """DFUSE vs DFUSE+IL at 1 KiB I/O (IOPS)."""
     g = _grids(scale)
-    panels: Dict[str, List[Series]] = {"write": [], "read": []}
-    peaks: Dict[str, float] = {}
+    bases: List[Tuple[str, PointSpec]] = []
+    specs: List[PointSpec] = []
     for api in ("POSIX", "POSIX+IL"):
         base = PointSpec(
             workload="ior", store="daos", api=api,
             n_servers=16, n_client_nodes=g["nodes"][0],
             ops_per_process=g["ops"], op_size=KiB, object_class="SX",
         )
-        w, r, _ = _sweep_ppn(base, g["ppn"], g["reps"], unit="IOPS")
-        w.label = r.label = api
-        panels["write"].append(w)
-        panels["read"].append(r)
-        peaks[api] = max(w.peak, r.peak)
-    ratio = peaks["POSIX+IL"] / peaks["POSIX"]
-    checks = [
-        _check("IL IOPS at least 2x DFUSE IOPS", ratio >= 2.0, f"ratio {ratio:.1f}x")
-    ]
-    return FigureResult(
-        fig_id="F2",
-        title="Fig. 2: DFUSE vs DFUSE+IL, 1 KiB I/O, 16 servers",
-        xlabel="total processes",
-        panels=panels,
-        paper_expectation=(
-            "the interception library's benefit becomes very noticeable at "
-            "small I/O sizes: far higher IOPS than plain DFUSE"
-        ),
-        checks=checks,
-    )
+        bases.append((api, base))
+        specs.extend(_ppn_specs(base, g["ppn"]))
+
+    def assemble(results: Results) -> FigureResult:
+        panels: Dict[str, List[Series]] = {"write": [], "read": []}
+        peaks: Dict[str, float] = {}
+        for api, base in bases:
+            w, r = _sweep_series(results, base, g["ppn"], unit="IOPS")
+            w.label = r.label = api
+            panels["write"].append(w)
+            panels["read"].append(r)
+            peaks[api] = max(w.peak, r.peak)
+        ratio = peaks["POSIX+IL"] / peaks["POSIX"]
+        checks = [
+            _check("IL IOPS at least 2x DFUSE IOPS", ratio >= 2.0, f"ratio {ratio:.1f}x")
+        ]
+        return FigureResult(
+            fig_id="F2",
+            title="Fig. 2: DFUSE vs DFUSE+IL, 1 KiB I/O, 16 servers",
+            xlabel="total processes",
+            panels=panels,
+            paper_expectation=(
+                "the interception library's benefit becomes very noticeable at "
+                "small I/O sizes: far higher IOPS than plain DFUSE"
+            ),
+            checks=checks,
+        )
+
+    return make_plan("F2", scale, g["reps"], specs, assemble)
 
 
 # ----------------------------------------------------------------------- F3
 
 
-def fig3(scale: str = "quick") -> FigureResult:
+def plan_fig3(scale: str = "quick") -> RunPlan:
     """The complex applications against a 16-node DAOS system."""
     g = _grids(scale)
     nodes = g["nodes_wide"][0]
@@ -300,108 +367,125 @@ def fig3(scale: str = "quick") -> FigureResult:
         workload="ior", store="daos", api="DAOS",
         n_servers=16, n_client_nodes=nodes, ops_per_process=g["ops"],
     )
-    panels: Dict[str, List[Series]] = {"write": [], "read": []}
-    peaks: Dict[str, Dict[str, float]] = {"write": {}, "read": {}}
-    for label, base in [("IOR libdaos (ref)", reference)] + apps:
-        w, r, _ = _sweep_ppn(base, g["ppn"], g["reps"])
-        w.label = r.label = label
-        panels["write"].append(w)
-        panels["read"].append(r)
-        peaks["write"][label] = w.peak
-        peaks["read"][label] = r.peak
-    ref_w = peaks["write"]["IOR libdaos (ref)"]
-    ref_r = peaks["read"]["IOR libdaos (ref)"]
-    checks = [
-        _check(
-            "Field I/O write within 15% of IOR",
-            peaks["write"]["Field I/O"] >= 0.85 * ref_w,
-            f"{peaks['write']['Field I/O']:.1f} vs {ref_w:.1f}",
-        ),
-        _check(
-            "fdb-hammer write within 15% of IOR",
-            peaks["write"]["fdb-hammer"] >= 0.85 * ref_w,
-            f"{peaks['write']['fdb-hammer']:.1f} vs {ref_w:.1f}",
-        ),
-        _check(
-            "fdb-hammer read >= Field I/O read (size-check optimisation)",
-            peaks["read"]["fdb-hammer"] >= peaks["read"]["Field I/O"] * 0.99,
-            f"{peaks['read']['fdb-hammer']:.1f} vs {peaks['read']['Field I/O']:.1f}",
-        ),
-        _check(
-            "HDF5 on DFUSE+IL roughly half of IOR write",
-            0.35 * ref_w <= peaks["write"]["HDF5 (DFUSE+IL)"] <= 0.70 * ref_w,
-            f"{peaks['write']['HDF5 (DFUSE+IL)']:.1f} vs {ref_w:.1f}",
-        ),
-        _check(
-            "HDF5 on libdaos performs worst",
-            peaks["write"]["HDF5 (libdaos)"] <= peaks["write"]["HDF5 (DFUSE+IL)"],
-            f"{peaks['write']['HDF5 (libdaos)']:.1f} vs {peaks['write']['HDF5 (DFUSE+IL)']:.1f}",
-        ),
-    ]
-    return FigureResult(
-        fig_id="F3",
-        title="Fig. 3: application optimisation runs, 16 DAOS servers",
-        xlabel="total processes",
-        panels=panels,
-        paper_expectation=(
-            "Field I/O and fdb-hammer perform close to plain IOR despite ~10 "
-            "KV ops per field; HDF5 runs show inferior bandwidth, HDF5 on "
-            "libdaos worst; fdb-hammer reads scale better than Field I/O's"
-        ),
-        checks=checks,
-    )
+    subjects = [("IOR libdaos (ref)", reference)] + apps
+    specs: List[PointSpec] = []
+    for _, base in subjects:
+        specs.extend(_ppn_specs(base, g["ppn"]))
+
+    def assemble(results: Results) -> FigureResult:
+        panels: Dict[str, List[Series]] = {"write": [], "read": []}
+        peaks: Dict[str, Dict[str, float]] = {"write": {}, "read": {}}
+        for label, base in subjects:
+            w, r = _sweep_series(results, base, g["ppn"])
+            w.label = r.label = label
+            panels["write"].append(w)
+            panels["read"].append(r)
+            peaks["write"][label] = w.peak
+            peaks["read"][label] = r.peak
+        ref_w = peaks["write"]["IOR libdaos (ref)"]
+        ref_r = peaks["read"]["IOR libdaos (ref)"]
+        checks = [
+            _check(
+                "Field I/O write within 15% of IOR",
+                peaks["write"]["Field I/O"] >= 0.85 * ref_w,
+                f"{peaks['write']['Field I/O']:.1f} vs {ref_w:.1f}",
+            ),
+            _check(
+                "fdb-hammer write within 15% of IOR",
+                peaks["write"]["fdb-hammer"] >= 0.85 * ref_w,
+                f"{peaks['write']['fdb-hammer']:.1f} vs {ref_w:.1f}",
+            ),
+            _check(
+                "fdb-hammer read >= Field I/O read (size-check optimisation)",
+                peaks["read"]["fdb-hammer"] >= peaks["read"]["Field I/O"] * 0.99,
+                f"{peaks['read']['fdb-hammer']:.1f} vs {peaks['read']['Field I/O']:.1f}",
+            ),
+            _check(
+                "HDF5 on DFUSE+IL roughly half of IOR write",
+                0.35 * ref_w <= peaks["write"]["HDF5 (DFUSE+IL)"] <= 0.70 * ref_w,
+                f"{peaks['write']['HDF5 (DFUSE+IL)']:.1f} vs {ref_w:.1f}",
+            ),
+            _check(
+                "HDF5 on libdaos performs worst",
+                peaks["write"]["HDF5 (libdaos)"] <= peaks["write"]["HDF5 (DFUSE+IL)"],
+                f"{peaks['write']['HDF5 (libdaos)']:.1f} vs {peaks['write']['HDF5 (DFUSE+IL)']:.1f}",
+            ),
+        ]
+        return FigureResult(
+            fig_id="F3",
+            title="Fig. 3: application optimisation runs, 16 DAOS servers",
+            xlabel="total processes",
+            panels=panels,
+            paper_expectation=(
+                "Field I/O and fdb-hammer perform close to plain IOR despite ~10 "
+                "KV ops per field; HDF5 runs show inferior bandwidth, HDF5 on "
+                "libdaos worst; fdb-hammer reads scale better than Field I/O's"
+            ),
+            checks=checks,
+        )
+
+    return make_plan("F3", scale, g["reps"], specs, assemble)
 
 
 # ----------------------------------------------------------------------- F4
 
 
-def fig4(scale: str = "quick") -> FigureResult:
+def plan_fig4(scale: str = "quick") -> RunPlan:
     """IOR/libdaos vs HDF5/libdaos against a small (4-node) DAOS system."""
     g = _grids(scale)
     nodes = g["nodes"][0]
-    panels: Dict[str, List[Series]] = {"write": [], "read": []}
-    peaks: Dict[str, Dict[str, float]] = {"write": {}, "read": {}}
+    subjects: List[Tuple[str, PointSpec]] = []
+    specs: List[PointSpec] = []
     for api, label in (("DAOS", "IOR libdaos"), ("HDF5-DAOS", "HDF5 libdaos")):
         base = PointSpec(
             workload="ior", store="daos", api=api,
             n_servers=4, n_client_nodes=nodes, ops_per_process=g["ops"],
         )
-        w, r, _ = _sweep_ppn(base, g["ppn"], g["reps"])
-        w.label = r.label = label
-        panels["write"].append(w)
-        panels["read"].append(r)
-        peaks["write"][label] = w.peak
-        peaks["read"][label] = r.peak
-    ratio_w = peaks["write"]["HDF5 libdaos"] / peaks["write"]["IOR libdaos"]
-    checks = [
-        _check(
-            "HDF5/libdaos approaches IOR at 4 servers (>= 75%)",
-            ratio_w >= 0.75,
-            f"ratio {ratio_w:.2f}",
-        ),
-        _check_band(
-            "IOR write peak near 4-server roofline (15.4)",
-            peaks["write"]["IOR libdaos"], 12.0, 15.5,
-        ),
-    ]
-    return FigureResult(
-        fig_id="F4",
-        title="Fig. 4: IOR vs HDF5 on libdaos, 4 DAOS servers",
-        xlabel="total processes",
-        panels=panels,
-        paper_expectation=(
-            "HDF5 on libdaos can approach optimal hardware performance at "
-            "small scale similarly to IOR — the container-per-process issue "
-            "only bites at larger scales"
-        ),
-        checks=checks,
-    )
+        subjects.append((label, base))
+        specs.extend(_ppn_specs(base, g["ppn"]))
+
+    def assemble(results: Results) -> FigureResult:
+        panels: Dict[str, List[Series]] = {"write": [], "read": []}
+        peaks: Dict[str, Dict[str, float]] = {"write": {}, "read": {}}
+        for label, base in subjects:
+            w, r = _sweep_series(results, base, g["ppn"])
+            w.label = r.label = label
+            panels["write"].append(w)
+            panels["read"].append(r)
+            peaks["write"][label] = w.peak
+            peaks["read"][label] = r.peak
+        ratio_w = peaks["write"]["HDF5 libdaos"] / peaks["write"]["IOR libdaos"]
+        checks = [
+            _check(
+                "HDF5/libdaos approaches IOR at 4 servers (>= 75%)",
+                ratio_w >= 0.75,
+                f"ratio {ratio_w:.2f}",
+            ),
+            _check_band(
+                "IOR write peak near 4-server roofline (15.4)",
+                peaks["write"]["IOR libdaos"], 12.0, 15.5,
+            ),
+        ]
+        return FigureResult(
+            fig_id="F4",
+            title="Fig. 4: IOR vs HDF5 on libdaos, 4 DAOS servers",
+            xlabel="total processes",
+            panels=panels,
+            paper_expectation=(
+                "HDF5 on libdaos can approach optimal hardware performance at "
+                "small scale similarly to IOR — the container-per-process issue "
+                "only bites at larger scales"
+            ),
+            checks=checks,
+        )
+
+    return make_plan("F4", scale, g["reps"], specs, assemble)
 
 
 # ----------------------------------------------------------------------- F5
 
 
-def fig5(scale: str = "quick") -> FigureResult:
+def plan_fig5(scale: str = "quick") -> RunPlan:
     """Write/read scalability with server count, all APIs and apps."""
     g = _grids(scale)
     nodes = g["nodes_wide"][0]
@@ -426,74 +510,79 @@ def fig5(scale: str = "quick") -> FigureResult:
                                  n_client_nodes=nodes, ppn=ppn, ops_per_process=g["ops"])),
     ]
     servers = g["servers"]
-    panels: Dict[str, List[Series]] = {"write": [], "read": []}
-    by_label: Dict[str, Dict[str, Series]] = {}
-    for label, base in subjects:
-        results = [run_point(base.with_(n_servers=s), reps=g["reps"]) for s in servers]
-        w = Series(label, list(map(float, servers)),
-                   [r.write_bw[0] / GiB for r in results],
-                   [r.write_bw[1] / GiB for r in results])
-        r_ = Series(label, list(map(float, servers)),
-                    [r.read_bw[0] / GiB for r in results],
-                    [r.read_bw[1] / GiB for r in results])
-        panels["write"].append(w)
-        panels["read"].append(r_)
-        by_label[label] = {"write": w, "read": r_}
-    from repro.analysis import detect_plateau, scaling_efficiency
+    specs = [
+        base.with_(n_servers=s) for _, base in subjects for s in servers
+    ]
 
-    s_lo, s_hi = servers[0], servers[-1]
-    checks = []
-    for label in ("IOR libdaos", "IOR DFUSE+IL", "Field I/O", "fdb-hammer"):
-        w = by_label[label]["write"]
-        eff = scaling_efficiency(w.xs, w.means)
+    def assemble(results: Results) -> FigureResult:
+        panels: Dict[str, List[Series]] = {"write": [], "read": []}
+        by_label: Dict[str, Dict[str, Series]] = {}
+        for label, base in subjects:
+            points = [results[base.with_(n_servers=s)] for s in servers]
+            w = Series(label, list(map(float, servers)),
+                       [r.write_bw[0] / GiB for r in points],
+                       [r.write_bw[1] / GiB for r in points])
+            r_ = Series(label, list(map(float, servers)),
+                        [r.read_bw[0] / GiB for r in points],
+                        [r.read_bw[1] / GiB for r in points])
+            panels["write"].append(w)
+            panels["read"].append(r_)
+            by_label[label] = {"write": w, "read": r_}
+        from repro.analysis import detect_plateau, scaling_efficiency
+
+        s_lo, s_hi = servers[0], servers[-1]
+        checks = []
+        for label in ("IOR libdaos", "IOR DFUSE+IL", "Field I/O", "fdb-hammer"):
+            w = by_label[label]["write"]
+            eff = scaling_efficiency(w.xs, w.means)
+            checks.append(
+                _check(
+                    f"{label} write scales near-linearly to {s_hi} servers",
+                    eff >= 0.6,
+                    f"scaling efficiency {eff:.2f}",
+                )
+            )
+        h5v = by_label["HDF5 libdaos"]["write"]
+        plateau_at = detect_plateau(h5v.xs, h5v.means, tolerance=0.15)
         checks.append(
             _check(
-                f"{label} write scales near-linearly to {s_hi} servers",
-                eff >= 0.6,
-                f"scaling efficiency {eff:.2f}",
+                "HDF5 libdaos stops scaling beyond small server counts",
+                plateau_at is not None and plateau_at <= servers[len(servers) // 2],
+                f"plateau detected at {plateau_at} servers",
             )
         )
-    h5v = by_label["HDF5 libdaos"]["write"]
-    plateau_at = detect_plateau(h5v.xs, h5v.means, tolerance=0.15)
-    checks.append(
-        _check(
-            "HDF5 libdaos stops scaling beyond small server counts",
-            plateau_at is not None and plateau_at <= servers[len(servers) // 2],
-            f"plateau detected at {plateau_at} servers",
+        h5p = by_label["HDF5 DFUSE+IL"]["write"]
+        ior = by_label["IOR libdaos"]["write"]
+        checks.append(
+            _check(
+                "HDF5 DFUSE+IL roughly half of IOR at the largest scale",
+                0.3 * ior.at(s_hi) <= h5p.at(s_hi) <= 0.7 * ior.at(s_hi),
+                f"{h5p.at(s_hi):.1f} vs IOR {ior.at(s_hi):.1f}",
+            )
         )
-    )
-    h5p = by_label["HDF5 DFUSE+IL"]["write"]
-    ior = by_label["IOR libdaos"]["write"]
-    checks.append(
-        _check(
-            "HDF5 DFUSE+IL roughly half of IOR at the largest scale",
-            0.3 * ior.at(s_hi) <= h5p.at(s_hi) <= 0.7 * ior.at(s_hi),
-            f"{h5p.at(s_hi):.1f} vs IOR {ior.at(s_hi):.1f}",
+        return FigureResult(
+            fig_id="F5",
+            title="Fig. 5: scalability with DAOS server count",
+            xlabel="DAOS server nodes",
+            panels=panels,
+            paper_expectation=(
+                "most interfaces and applications scale approximately linearly "
+                "up to 24 server nodes; HDF5 on DFUSE reaches about half and "
+                "flattens; HDF5 on libdaos stops scaling beyond ~4 servers"
+            ),
+            checks=checks,
         )
-    )
-    return FigureResult(
-        fig_id="F5",
-        title="Fig. 5: scalability with DAOS server count",
-        xlabel="DAOS server nodes",
-        panels=panels,
-        paper_expectation=(
-            "most interfaces and applications scale approximately linearly "
-            "up to 24 server nodes; HDF5 on DFUSE reaches about half and "
-            "flattens; HDF5 on libdaos stops scaling beyond ~4 servers"
-        ),
-        checks=checks,
-    )
+
+    return make_plan("F5", scale, g["reps"], specs, assemble)
 
 
 # ----------------------------------------------------------------------- F6 / RP2
 
 
-def fig6(scale: str = "quick") -> FigureResult:
+def plan_fig6(scale: str = "quick") -> RunPlan:
     """Erasure coding 2+1: IOR and fdb-hammer on a 16-node DAOS system."""
     g = _grids(scale)
     nodes = g["nodes_wide"][0]
-    panels: Dict[str, List[Series]] = {"write": [], "read": []}
-    peaks: Dict[str, Dict[str, float]] = {}
     runs = [
         ("IOR (none)", PointSpec(workload="ior", store="daos", api="DAOS",
                                  n_servers=16, n_client_nodes=nodes,
@@ -510,86 +599,95 @@ def fig6(scale: str = "quick") -> FigureResult:
                                               kv_object_class="RP_2",
                                               extra=(("array_class", "EC_2P1"),))),
     ]
-    for label, base in runs:
-        w, r, _ = _sweep_ppn(base, g["ppn"], g["reps"])
-        w.label = r.label = label
-        panels["write"].append(w)
-        panels["read"].append(r)
-        peaks[label] = {"write": w.peak, "read": r.peak}
-    checks = []
-    for plain, ec in (("IOR (none)", "IOR (EC 2+1)"), ("fdb (none)", "fdb (EC 2+1 / RP_2 KVs)")):
-        ratio_w = peaks[ec]["write"] / peaks[plain]["write"]
-        ratio_r = peaks[ec]["read"] / peaks[plain]["read"]
-        checks.append(
-            _check(f"{ec} write ~2/3 of unprotected", 0.55 <= ratio_w <= 0.78, f"ratio {ratio_w:.2f}")
+    specs: List[PointSpec] = []
+    for _, base in runs:
+        specs.extend(_ppn_specs(base, g["ppn"]))
+
+    def assemble(results: Results) -> FigureResult:
+        panels: Dict[str, List[Series]] = {"write": [], "read": []}
+        peaks: Dict[str, Dict[str, float]] = {}
+        for label, base in runs:
+            w, r = _sweep_series(results, base, g["ppn"])
+            w.label = r.label = label
+            panels["write"].append(w)
+            panels["read"].append(r)
+            peaks[label] = {"write": w.peak, "read": r.peak}
+        checks = []
+        for plain, ec in (("IOR (none)", "IOR (EC 2+1)"), ("fdb (none)", "fdb (EC 2+1 / RP_2 KVs)")):
+            ratio_w = peaks[ec]["write"] / peaks[plain]["write"]
+            ratio_r = peaks[ec]["read"] / peaks[plain]["read"]
+            checks.append(
+                _check(f"{ec} write ~2/3 of unprotected", 0.55 <= ratio_w <= 0.78, f"ratio {ratio_w:.2f}")
+            )
+            checks.append(
+                _check(f"{ec} read unharmed", ratio_r >= 0.9, f"ratio {ratio_r:.2f}")
+            )
+        return FigureResult(
+            fig_id="F6",
+            title="Fig. 6: erasure-code 2+1 runs, 16 DAOS servers",
+            xlabel="total processes",
+            panels=panels,
+            paper_expectation=(
+                "EC 2+1 leaves read bandwidth unchanged and cuts write bandwidth "
+                "to about two thirds (~40 GiB/s) — optimal given the +50% data "
+                "volume; indexing KVs use replication instead"
+            ),
+            checks=checks,
         )
-        checks.append(
-            _check(f"{ec} read unharmed", ratio_r >= 0.9, f"ratio {ratio_r:.2f}")
-        )
-    return FigureResult(
-        fig_id="F6",
-        title="Fig. 6: erasure-code 2+1 runs, 16 DAOS servers",
-        xlabel="total processes",
-        panels=panels,
-        paper_expectation=(
-            "EC 2+1 leaves read bandwidth unchanged and cuts write bandwidth "
-            "to about two thirds (~40 GiB/s) — optimal given the +50% data "
-            "volume; indexing KVs use replication instead"
-        ),
-        checks=checks,
-    )
+
+    return make_plan("F6", scale, g["reps"], specs, assemble)
 
 
-def fig_rp2(scale: str = "quick") -> FigureResult:
+def plan_rp2(scale: str = "quick") -> RunPlan:
     """Section III-D text: replication factor 2 halves write bandwidth."""
     g = _grids(scale)
     nodes = g["nodes_wide"][0]
     ppn = g["ppn"][-1]
-    plain = run_point(
-        PointSpec(workload="ior", store="daos", api="DAOS", n_servers=16,
-                  n_client_nodes=nodes, ppn=ppn, ops_per_process=g["ops"],
-                  object_class="SX"),
-        reps=g["reps"],
+    plain_spec = PointSpec(
+        workload="ior", store="daos", api="DAOS", n_servers=16,
+        n_client_nodes=nodes, ppn=ppn, ops_per_process=g["ops"],
+        object_class="SX",
     )
-    rp2 = run_point(
-        PointSpec(workload="ior", store="daos", api="DAOS", n_servers=16,
-                  n_client_nodes=nodes, ppn=ppn, ops_per_process=g["ops"],
-                  object_class="RP_2GX"),
-        reps=g["reps"],
-    )
-    panels = {
-        "write": [
-            Series("no redundancy", [0], [plain.write_bw[0] / GiB], [plain.write_bw[1] / GiB]),
-            Series("RP_2", [0], [rp2.write_bw[0] / GiB], [rp2.write_bw[1] / GiB]),
-        ],
-        "read": [
-            Series("no redundancy", [0], [plain.read_bw[0] / GiB], [plain.read_bw[1] / GiB]),
-            Series("RP_2", [0], [rp2.read_bw[0] / GiB], [rp2.read_bw[1] / GiB]),
-        ],
-    }
-    ratio_w = rp2.write_bw[0] / plain.write_bw[0]
-    ratio_r = rp2.read_bw[0] / plain.read_bw[0]
-    checks = [
-        _check("RP_2 write about half of unprotected", 0.42 <= ratio_w <= 0.6, f"ratio {ratio_w:.2f}"),
-        _check("RP_2 read unharmed", ratio_r >= 0.9, f"ratio {ratio_r:.2f}"),
-    ]
-    return FigureResult(
-        fig_id="RP2",
-        title="Sec. III-D: replication factor 2",
-        xlabel="-",
-        panels=panels,
-        paper_expectation=(
-            "with a replication factor of 2 read bandwidth is unaffected and "
-            "write bandwidth halves, reaching up to ~30 GiB/s"
-        ),
-        checks=checks,
-    )
+    rp2_spec = plain_spec.with_(object_class="RP_2GX")
+
+    def assemble(results: Results) -> FigureResult:
+        plain = results[plain_spec]
+        rp2 = results[rp2_spec]
+        panels = {
+            "write": [
+                Series("no redundancy", [0], [plain.write_bw[0] / GiB], [plain.write_bw[1] / GiB]),
+                Series("RP_2", [0], [rp2.write_bw[0] / GiB], [rp2.write_bw[1] / GiB]),
+            ],
+            "read": [
+                Series("no redundancy", [0], [plain.read_bw[0] / GiB], [plain.read_bw[1] / GiB]),
+                Series("RP_2", [0], [rp2.read_bw[0] / GiB], [rp2.read_bw[1] / GiB]),
+            ],
+        }
+        ratio_w = rp2.write_bw[0] / plain.write_bw[0]
+        ratio_r = rp2.read_bw[0] / plain.read_bw[0]
+        checks = [
+            _check("RP_2 write about half of unprotected", 0.42 <= ratio_w <= 0.6, f"ratio {ratio_w:.2f}"),
+            _check("RP_2 read unharmed", ratio_r >= 0.9, f"ratio {ratio_r:.2f}"),
+        ]
+        return FigureResult(
+            fig_id="RP2",
+            title="Sec. III-D: replication factor 2",
+            xlabel="-",
+            panels=panels,
+            paper_expectation=(
+                "with a replication factor of 2 read bandwidth is unaffected and "
+                "write bandwidth halves, reaching up to ~30 GiB/s"
+            ),
+            checks=checks,
+        )
+
+    return make_plan("RP2", scale, g["reps"], [plain_spec, rp2_spec], assemble)
 
 
 # ----------------------------------------------------------------------- F7 / Lustre IOR
 
 
-def fig7(scale: str = "quick") -> FigureResult:
+def plan_fig7(scale: str = "quick") -> RunPlan:
     """fdb-hammer on POSIX against a 16(+1)-node Lustre system."""
     g = _grids(scale)
     nodes = g["nodes_wide"][0]
@@ -598,41 +696,46 @@ def fig7(scale: str = "quick") -> FigureResult:
         n_servers=16, n_client_nodes=nodes, ops_per_process=g["ops"],
         extra=(("stripe_count", 8), ("stripe_size", 8 * MiB)),
     )
-    w, r, _ = _sweep_ppn(base, g["ppn"], g["reps"])
-    w.label = r.label = "fdb-hammer POSIX"
-    ior_ref = run_point(
-        PointSpec(workload="ior", store="lustre", api="LUSTRE", n_servers=16,
-                  n_client_nodes=nodes, ppn=g["ppn"][-1], ops_per_process=g["ops"]),
-        reps=g["reps"],
+    ior_spec = PointSpec(
+        workload="ior", store="lustre", api="LUSTRE", n_servers=16,
+        n_client_nodes=nodes, ppn=g["ppn"][-1], ops_per_process=g["ops"],
     )
-    checks = [
-        _check(
-            "fdb write close to IOR on Lustre",
-            w.peak >= 0.7 * ior_ref.write_bw[0] / GiB,
-            f"{w.peak:.1f} vs IOR {ior_ref.write_bw[0] / GiB:.1f}",
-        ),
-        _check_band("fdb read capped by the MDS (paper ~40 GiB/s)", r.peak, 25.0, 48.0),
-        _check(
-            "fdb read well below IOR read",
-            r.peak <= 0.7 * ior_ref.read_bw[0] / GiB,
-            f"{r.peak:.1f} vs IOR {ior_ref.read_bw[0] / GiB:.1f}",
-        ),
-    ]
-    return FigureResult(
-        fig_id="F7",
-        title="Fig. 7: fdb-hammer on POSIX, 16+1-node Lustre",
-        xlabel="total processes",
-        panels={"write": [w], "read": [r]},
-        paper_expectation=(
-            "fdb-hammer writes close to IOR bandwidth (write-optimised, "
-            "buffered); readers reach only ~40 GiB/s because of the "
-            "metadata workload on the single MDS"
-        ),
-        checks=checks,
-    )
+    specs = _ppn_specs(base, g["ppn"]) + [ior_spec]
+
+    def assemble(results: Results) -> FigureResult:
+        w, r = _sweep_series(results, base, g["ppn"])
+        w.label = r.label = "fdb-hammer POSIX"
+        ior_ref = results[ior_spec]
+        checks = [
+            _check(
+                "fdb write close to IOR on Lustre",
+                w.peak >= 0.7 * ior_ref.write_bw[0] / GiB,
+                f"{w.peak:.1f} vs IOR {ior_ref.write_bw[0] / GiB:.1f}",
+            ),
+            _check_band("fdb read capped by the MDS (paper ~40 GiB/s)", r.peak, 25.0, 48.0),
+            _check(
+                "fdb read well below IOR read",
+                r.peak <= 0.7 * ior_ref.read_bw[0] / GiB,
+                f"{r.peak:.1f} vs IOR {ior_ref.read_bw[0] / GiB:.1f}",
+            ),
+        ]
+        return FigureResult(
+            fig_id="F7",
+            title="Fig. 7: fdb-hammer on POSIX, 16+1-node Lustre",
+            xlabel="total processes",
+            panels={"write": [w], "read": [r]},
+            paper_expectation=(
+                "fdb-hammer writes close to IOR bandwidth (write-optimised, "
+                "buffered); readers reach only ~40 GiB/s because of the "
+                "metadata workload on the single MDS"
+            ),
+            checks=checks,
+        )
+
+    return make_plan("F7", scale, g["reps"], specs, assemble)
 
 
-def fig_lustre_ior(scale: str = "quick") -> FigureResult:
+def plan_lustre_ior(scale: str = "quick") -> RunPlan:
     """Section III-E text: IOR on Lustre close to hardware optimum."""
     g = _grids(scale)
     nodes = g["nodes_wide"][0]
@@ -640,79 +743,87 @@ def fig_lustre_ior(scale: str = "quick") -> FigureResult:
         workload="ior", store="lustre", api="LUSTRE",
         n_servers=16, n_client_nodes=nodes, ops_per_process=g["ops"],
     )
-    w, r, _ = _sweep_ppn(base, g["ppn"], g["reps"])
-    w.label = r.label = "IOR POSIX (Lustre)"
-    checks = [
-        _check_band("IOR write near roofline 61.8", w.peak, 45.0, 61.8),
-        _check_band("IOR read near roofline 100", r.peak, 70.0, 100.0),
-    ]
-    return FigureResult(
-        fig_id="LIOR",
-        title="Sec. III-E: IOR on Lustre, 16+1 nodes",
-        xlabel="total processes",
-        panels={"write": [w], "read": [r]},
-        paper_expectation=(
-            "Lustre can also reach close to optimal hardware performance for "
-            "large file-per-process I/O"
-        ),
-        checks=checks,
-    )
+    specs = _ppn_specs(base, g["ppn"])
+
+    def assemble(results: Results) -> FigureResult:
+        w, r = _sweep_series(results, base, g["ppn"])
+        w.label = r.label = "IOR POSIX (Lustre)"
+        checks = [
+            _check_band("IOR write near roofline 61.8", w.peak, 45.0, 61.8),
+            _check_band("IOR read near roofline 100", r.peak, 70.0, 100.0),
+        ]
+        return FigureResult(
+            fig_id="LIOR",
+            title="Sec. III-E: IOR on Lustre, 16+1 nodes",
+            xlabel="total processes",
+            panels={"write": [w], "read": [r]},
+            paper_expectation=(
+                "Lustre can also reach close to optimal hardware performance for "
+                "large file-per-process I/O"
+            ),
+            checks=checks,
+        )
+
+    return make_plan("LIOR", scale, g["reps"], specs, assemble)
 
 
 # ----------------------------------------------------------------------- F8 / Ceph IOR
 
 
-def fig8(scale: str = "quick") -> FigureResult:
+def plan_fig8(scale: str = "quick") -> RunPlan:
     """fdb-hammer on librados against a 16(+1)-node Ceph system."""
     g = _grids(scale)
     nodes = g["nodes_wide"][0]
     # PG-count optimisation first (the paper tuned to 1024)
     pg_grid = [64, 256, 1024]
-    pg_series_w, pg_series_r = [], []
     ppn = g["ppn"][-1]
     ops = max(g["ops"], 96)  # more objects -> the balanced-placement regime
-    for pg in pg_grid:
-        res = run_point(
-            PointSpec(workload="fdb", store="ceph", api="RADOS", n_servers=16,
-                      n_client_nodes=nodes, ppn=ppn, ops_per_process=ops,
-                      extra=(("pg_num", pg),)),
-            reps=g["reps"],
-        )
-        pg_series_w.append(res.write_bw[0] / GiB)
-        pg_series_r.append(res.read_bw[0] / GiB)
-    pg_w = Series("fdb write vs PGs", [float(p) for p in pg_grid], pg_series_w, [0.0] * len(pg_grid))
-    pg_r = Series("fdb read vs PGs", [float(p) for p in pg_grid], pg_series_r, [0.0] * len(pg_grid))
+    pg_specs = [
+        PointSpec(workload="fdb", store="ceph", api="RADOS", n_servers=16,
+                  n_client_nodes=nodes, ppn=ppn, ops_per_process=ops,
+                  extra=(("pg_num", pg),))
+        for pg in pg_grid
+    ]
     # process sweep at the optimum PG count
     base = PointSpec(
         workload="fdb", store="ceph", api="RADOS", n_servers=16,
         n_client_nodes=nodes, ops_per_process=ops, extra=(("pg_num", 1024),),
     )
-    w, r, _ = _sweep_ppn(base, g["ppn"], g["reps"])
-    w.label = r.label = "fdb-hammer librados (1024 PGs)"
-    checks = [
-        _check(
-            "1024 PGs at least as good as 64 PGs (write)",
-            pg_series_w[-1] >= pg_series_w[0] * 0.99,
-            f"{pg_series_w[-1]:.1f} vs {pg_series_w[0]:.1f}",
-        ),
-        _check_band("fdb-on-Ceph write (paper ~40 of 61.8)", w.peak, 24.0, 45.0),
-        _check_band("fdb-on-Ceph read (paper ~70 of 100)", r.peak, 45.0, 78.0),
-    ]
-    return FigureResult(
-        fig_id="F8",
-        title="Fig. 8: fdb-hammer on librados, 16+1-node Ceph",
-        xlabel="total processes",
-        panels={"write": [w], "read": [r], "pg-sweep": [pg_w, pg_r]},
-        paper_expectation=(
-            "with the PG count tuned (1024) fdb-hammer reaches ~40 GiB/s "
-            "write and ~70 GiB/s read — roughly two thirds of the hardware "
-            "ideal, from per-object OSD overheads"
-        ),
-        checks=checks,
-    )
+    specs = pg_specs + _ppn_specs(base, g["ppn"])
+
+    def assemble(results: Results) -> FigureResult:
+        pg_series_w = [results[s].write_bw[0] / GiB for s in pg_specs]
+        pg_series_r = [results[s].read_bw[0] / GiB for s in pg_specs]
+        pg_w = Series("fdb write vs PGs", [float(p) for p in pg_grid], pg_series_w, [0.0] * len(pg_grid))
+        pg_r = Series("fdb read vs PGs", [float(p) for p in pg_grid], pg_series_r, [0.0] * len(pg_grid))
+        w, r = _sweep_series(results, base, g["ppn"])
+        w.label = r.label = "fdb-hammer librados (1024 PGs)"
+        checks = [
+            _check(
+                "1024 PGs at least as good as 64 PGs (write)",
+                pg_series_w[-1] >= pg_series_w[0] * 0.99,
+                f"{pg_series_w[-1]:.1f} vs {pg_series_w[0]:.1f}",
+            ),
+            _check_band("fdb-on-Ceph write (paper ~40 of 61.8)", w.peak, 24.0, 45.0),
+            _check_band("fdb-on-Ceph read (paper ~70 of 100)", r.peak, 45.0, 78.0),
+        ]
+        return FigureResult(
+            fig_id="F8",
+            title="Fig. 8: fdb-hammer on librados, 16+1-node Ceph",
+            xlabel="total processes",
+            panels={"write": [w], "read": [r], "pg-sweep": [pg_w, pg_r]},
+            paper_expectation=(
+                "with the PG count tuned (1024) fdb-hammer reaches ~40 GiB/s "
+                "write and ~70 GiB/s read — roughly two thirds of the hardware "
+                "ideal, from per-object OSD overheads"
+            ),
+            checks=checks,
+        )
+
+    return make_plan("F8", scale, g["reps"], specs, assemble)
 
 
-def fig_ceph_ior(scale: str = "quick") -> FigureResult:
+def plan_ceph_ior(scale: str = "quick") -> RunPlan:
     """Section III-F text: IOR on Ceph reaches only ~25/50 GiB/s."""
     g = _grids(scale)
     nodes = g["nodes_wide"][0]
@@ -722,50 +833,55 @@ def fig_ceph_ior(scale: str = "quick") -> FigureResult:
         ops_per_process=100,  # the paper's 100 x 1 MiB inside the 132 MiB cap
         extra=(("pg_num", 1024),),
     )
-    w, r, _ = _sweep_ppn(base, g["ppn"], g["reps"])
-    w.label = r.label = "IOR librados"
-    daos_ref = run_point(
-        PointSpec(workload="ior", store="daos", api="DAOS", n_servers=16,
-                  n_client_nodes=nodes, ppn=g["ppn"][-1], ops_per_process=g["ops"]),
-        reps=g["reps"],
+    daos_spec = PointSpec(
+        workload="ior", store="daos", api="DAOS", n_servers=16,
+        n_client_nodes=nodes, ppn=g["ppn"][-1], ops_per_process=g["ops"],
     )
-    ratio_w = w.peak / (daos_ref.write_bw[0] / GiB)
-    ratio_r = r.peak / (daos_ref.read_bw[0] / GiB)
-    checks = [
-        _check(
-            "IOR-on-Ceph write roughly half of DAOS or less",
-            ratio_w <= 0.6,
-            f"ratio {ratio_w:.2f}",
-        ),
-        _check(
-            "IOR-on-Ceph read roughly half of DAOS or less",
-            ratio_r <= 0.6,
-            f"ratio {ratio_r:.2f}",
-        ),
-        _check(
-            "read about double the write (paper 25 vs 50)",
-            1.4 <= r.peak / max(w.peak, 1e-9) <= 2.6,
-            f"ratio {r.peak / max(w.peak, 1e-9):.2f}",
-        ),
-    ]
-    return FigureResult(
-        fig_id="CIOR",
-        title="Sec. III-F: IOR on Ceph (object per process, 132 MiB cap)",
-        xlabel="total processes",
-        panels={"write": [w], "read": [r]},
-        paper_expectation=(
-            "IOR on Ceph reaches only ~25 GiB/s write and ~50 GiB/s read — "
-            "roughly half of DAOS/Lustre — because objects cannot shard "
-            "across OSDs and few objects land unevenly"
-        ),
-        checks=checks,
-    )
+    specs = _ppn_specs(base, g["ppn"]) + [daos_spec]
+
+    def assemble(results: Results) -> FigureResult:
+        w, r = _sweep_series(results, base, g["ppn"])
+        w.label = r.label = "IOR librados"
+        daos_ref = results[daos_spec]
+        ratio_w = w.peak / (daos_ref.write_bw[0] / GiB)
+        ratio_r = r.peak / (daos_ref.read_bw[0] / GiB)
+        checks = [
+            _check(
+                "IOR-on-Ceph write roughly half of DAOS or less",
+                ratio_w <= 0.6,
+                f"ratio {ratio_w:.2f}",
+            ),
+            _check(
+                "IOR-on-Ceph read roughly half of DAOS or less",
+                ratio_r <= 0.6,
+                f"ratio {ratio_r:.2f}",
+            ),
+            _check(
+                "read about double the write (paper 25 vs 50)",
+                1.4 <= r.peak / max(w.peak, 1e-9) <= 2.6,
+                f"ratio {r.peak / max(w.peak, 1e-9):.2f}",
+            ),
+        ]
+        return FigureResult(
+            fig_id="CIOR",
+            title="Sec. III-F: IOR on Ceph (object per process, 132 MiB cap)",
+            xlabel="total processes",
+            panels={"write": [w], "read": [r]},
+            paper_expectation=(
+                "IOR on Ceph reaches only ~25 GiB/s write and ~50 GiB/s read — "
+                "roughly half of DAOS/Lustre — because objects cannot shard "
+                "across OSDs and few objects land unevenly"
+            ),
+            checks=checks,
+        )
+
+    return make_plan("CIOR", scale, g["reps"], specs, assemble)
 
 
 # ----------------------------------------------------------------------- F9
 
 
-def fig9(scale: str = "quick") -> FigureResult:
+def plan_fig9(scale: str = "quick") -> RunPlan:
     """fdb-hammer at 32 client nodes: DAOS vs Lustre vs Ceph."""
     g = _grids(scale)
     nodes = 32
@@ -780,70 +896,95 @@ def fig9(scale: str = "quick") -> FigureResult:
                            n_client_nodes=nodes, ops_per_process=ops,
                            extra=(("pg_num", 1024),))),
     ]
-    panels: Dict[str, List[Series]] = {"write": [], "read": []}
-    peaks: Dict[str, Dict[str, float]] = {}
-    for label, base in runs:
-        w, r, _ = _sweep_ppn(base, g["ppn"], g["reps"])
-        w.label = r.label = label
-        panels["write"].append(w)
-        panels["read"].append(r)
-        peaks[label] = {"write": w.peak, "read": r.peak}
-    checks = [
-        _check(
-            "read ordering DAOS > Ceph > Lustre",
-            peaks["DAOS"]["read"] > peaks["Ceph"]["read"] > peaks["Lustre"]["read"],
-            f"DAOS {peaks['DAOS']['read']:.1f} / Ceph {peaks['Ceph']['read']:.1f} / "
-            f"Lustre {peaks['Lustre']['read']:.1f}",
-        ),
-        _check(
-            "DAOS best for write",
-            peaks["DAOS"]["write"] >= max(peaks["Lustre"]["write"], peaks["Ceph"]["write"]),
-            f"DAOS {peaks['DAOS']['write']:.1f} / Lustre {peaks['Lustre']['write']:.1f} / "
-            f"Ceph {peaks['Ceph']['write']:.1f}",
-        ),
-        _check(
-            "Ceph write below DAOS (paper ~two thirds)",
-            peaks["Ceph"]["write"] <= 0.85 * peaks["DAOS"]["write"],
-            f"ratio {peaks['Ceph']['write'] / peaks['DAOS']['write']:.2f}",
-        ),
-    ]
-    return FigureResult(
-        fig_id="F9",
-        title="Fig. 9: fdb-hammer, 32 client nodes, DAOS vs Lustre vs Ceph",
-        xlabel="total processes",
-        panels=panels,
-        paper_expectation=(
-            "DAOS is the only system delivering high bandwidth for both "
-            "write and metadata-heavy small-I/O read; Ceph reads beat Lustre "
-            "reads, and Ceph writes trail both"
-        ),
-        checks=checks,
-    )
+    specs: List[PointSpec] = []
+    for _, base in runs:
+        specs.extend(_ppn_specs(base, g["ppn"]))
+
+    def assemble(results: Results) -> FigureResult:
+        panels: Dict[str, List[Series]] = {"write": [], "read": []}
+        peaks: Dict[str, Dict[str, float]] = {}
+        for label, base in runs:
+            w, r = _sweep_series(results, base, g["ppn"])
+            w.label = r.label = label
+            panels["write"].append(w)
+            panels["read"].append(r)
+            peaks[label] = {"write": w.peak, "read": r.peak}
+        checks = [
+            _check(
+                "read ordering DAOS > Ceph > Lustre",
+                peaks["DAOS"]["read"] > peaks["Ceph"]["read"] > peaks["Lustre"]["read"],
+                f"DAOS {peaks['DAOS']['read']:.1f} / Ceph {peaks['Ceph']['read']:.1f} / "
+                f"Lustre {peaks['Lustre']['read']:.1f}",
+            ),
+            _check(
+                "DAOS best for write",
+                peaks["DAOS"]["write"] >= max(peaks["Lustre"]["write"], peaks["Ceph"]["write"]),
+                f"DAOS {peaks['DAOS']['write']:.1f} / Lustre {peaks['Lustre']['write']:.1f} / "
+                f"Ceph {peaks['Ceph']['write']:.1f}",
+            ),
+            _check(
+                "Ceph write below DAOS (paper ~two thirds)",
+                peaks["Ceph"]["write"] <= 0.85 * peaks["DAOS"]["write"],
+                f"ratio {peaks['Ceph']['write'] / peaks['DAOS']['write']:.2f}",
+            ),
+        ]
+        return FigureResult(
+            fig_id="F9",
+            title="Fig. 9: fdb-hammer, 32 client nodes, DAOS vs Lustre vs Ceph",
+            xlabel="total processes",
+            panels=panels,
+            paper_expectation=(
+                "DAOS is the only system delivering high bandwidth for both "
+                "write and metadata-heavy small-I/O read; Ceph reads beat Lustre "
+                "reads, and Ceph writes trail both"
+            ),
+            checks=checks,
+        )
+
+    return make_plan("F9", scale, g["reps"], specs, assemble)
 
 
-FIGURES: Dict[str, Callable[[str], FigureResult]] = {
-    "HW": fig_hw,
-    "F1": fig1,
-    "F2": fig2,
-    "F3": fig3,
-    "F4": fig4,
-    "F5": fig5,
-    "F6": fig6,
-    "RP2": fig_rp2,
-    "F7": fig7,
-    "LIOR": fig_lustre_ior,
-    "F8": fig8,
-    "CIOR": fig_ceph_ior,
-    "F9": fig9,
+#: figure id -> planner.  Planners are cheap and pure: they enumerate
+#: specs and close over the assembly logic without running anything.
+FIGURES: Dict[str, Callable[[str], RunPlan]] = {
+    "HW": plan_hw,
+    "F1": plan_fig1,
+    "F2": plan_fig2,
+    "F3": plan_fig3,
+    "F4": plan_fig4,
+    "F5": plan_fig5,
+    "F6": plan_fig6,
+    "RP2": plan_rp2,
+    "F7": plan_fig7,
+    "LIOR": plan_lustre_ior,
+    "F8": plan_fig8,
+    "CIOR": plan_ceph_ior,
+    "F9": plan_fig9,
 }
 
 
-def build_figure(fig_id: str, scale: str = "quick") -> FigureResult:
-    """Run one figure's experiments and return its result object."""
+def plan_figure(fig_id: str, scale: str = "quick") -> RunPlan:
+    """One figure's :class:`RunPlan` (no execution)."""
     try:
-        builder = FIGURES[fig_id]
+        planner = FIGURES[fig_id]
     except KeyError:
         raise ConfigError(
             f"unknown figure {fig_id!r}; known: {sorted(FIGURES)}"
         ) from None
-    return builder(scale)
+    return planner(scale)
+
+
+def build_figure(
+    fig_id: str,
+    scale: str = "quick",
+    executor: Optional[Executor] = None,
+    cache: Optional[ResultCache] = None,
+    base_seed: int = 0,
+) -> FigureResult:
+    """Plan, execute (serially unless an executor is given), and
+    assemble one figure."""
+    plan = plan_figure(fig_id, scale)
+    result, _ = execute_plan(
+        plan, executor=executor, cache=cache, base_seed=base_seed
+    )
+    return result

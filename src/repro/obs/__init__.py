@@ -28,7 +28,7 @@ instrument catalogue.
 from __future__ import annotations
 
 from contextlib import contextmanager
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.obs.critpath import (
     analyze_critical_path,
@@ -197,6 +197,53 @@ class Observability:
                 acc = self.link_stats.setdefault(link.name, [0.0, 0.0])
                 acc[0] += link.busy_integral
                 acc[1] += link.capacity * elapsed
+
+    # -- cross-process merge -------------------------------------------------
+    def dump(self) -> Dict[str, Any]:
+        """Complete picklable state for shipping to the parent process.
+
+        A :class:`ParallelExecutor <repro.harness.executor.ParallelExecutor>`
+        worker observes its points with a private Observability, dumps
+        it, and the parent :meth:`absorb`\\ s the payload — so
+        ``--trace``/``--metrics``/``--timeline`` see one merged view no
+        matter how many processes ran the figure.  Call
+        :meth:`finalize` first so the last run's ``sim.run`` span and
+        link integrals are included.
+        """
+        return {
+            "registry": self.registry.dump_state(),
+            "spans": self.tracer.dump_spans(),
+            "thread_labels": dict(self.tracer.thread_labels),
+            "link_stats": {k: list(v) for k, v in self.link_stats.items()},
+            "timelines": [tl.to_json_obj() for tl in self.timelines],
+            "runs": self.run_index + 1,
+        }
+
+    def absorb(self, payload: Dict[str, Any]) -> None:
+        """Merge a worker's :meth:`dump` into this observability.
+
+        Counters add, gauges keep maxima, histograms merge buckets,
+        link utilisation integrals accumulate, and the worker's trace
+        pids / timeline run indices are shifted past this object's
+        current run count so lanes stay distinct.  Absorbing payloads
+        in a fixed order (the executor uses plan order) keeps the
+        merged trace deterministic.
+        """
+        self.finalize()
+        pid_offset = self.run_index + 1
+        self.registry.merge_state(payload["registry"])
+        self.tracer.absorb(
+            payload["spans"],
+            pid_offset=pid_offset,
+            thread_labels=payload.get("thread_labels"),
+        )
+        for name, (busy, denom) in payload["link_stats"].items():
+            acc = self.link_stats.setdefault(name, [0.0, 0.0])
+            acc[0] += busy
+            acc[1] += denom
+        for obj in payload["timelines"]:
+            self.timelines.append(Timeline.from_json_obj(obj, run_offset=pid_offset))
+        self.run_index += int(payload["runs"])
 
     # -- lane helpers --------------------------------------------------------
     def node_tid(self, node) -> int:

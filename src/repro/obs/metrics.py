@@ -255,6 +255,83 @@ class MetricsRegistry:
             out[name] = row
         return out
 
+    # -- cross-process merge ------------------------------------------------
+    def dump_state(self) -> Dict[str, dict]:
+        """Complete, mergeable state of every instrument.
+
+        Unlike :meth:`snapshot` (a lossy reporting view) this captures
+        everything :meth:`merge_state` needs to reconstruct the
+        instrument in another process: histogram bounds, raw bucket
+        counts, and min/max.  The payload is plain picklable data.
+        """
+        out: Dict[str, dict] = {}
+        for name in self.names():
+            inst = self._instruments[name]
+            row: Dict[str, object] = {
+                "kind": inst.kind,
+                "unit": inst.unit,
+                "description": inst.description,
+            }
+            if isinstance(inst, Counter):
+                row["value"] = inst.value
+            elif isinstance(inst, Gauge):
+                row["value"] = inst.value
+                row["peak"] = inst.peak
+            elif isinstance(inst, Histogram):
+                row.update(
+                    bounds=list(inst.bounds),
+                    counts=list(inst.counts),
+                    total=inst.total,
+                    count=inst.count,
+                    vmin=inst.vmin,
+                    vmax=inst.vmax,
+                )
+            out[name] = row
+        return out
+
+    def merge_state(self, state: Dict[str, dict]) -> None:
+        """Fold another registry's :meth:`dump_state` into this one.
+
+        Merge semantics are commutative and associative, so absorbing
+        worker payloads in any order yields the same totals: counters
+        add, gauge values and peaks take the maximum (a point-in-time
+        level has no meaningful cross-process sum), histograms add
+        bucket counts and widen min/max.  Instruments missing here are
+        created with the dumped identity.
+        """
+        for name, row in sorted(state.items()):
+            kind = row["kind"]
+            if kind == "counter":
+                self.counter(
+                    name, unit=str(row["unit"]), description=str(row["description"])
+                ).inc(float(row["value"]))
+            elif kind == "gauge":
+                gauge = self.gauge(
+                    name, unit=str(row["unit"]), description=str(row["description"])
+                )
+                gauge.set_max(float(row["peak"]))
+                gauge.value = max(gauge.value, float(row["value"]))
+            elif kind == "histogram":
+                hist = self.histogram(
+                    name,
+                    unit=str(row["unit"]),
+                    description=str(row["description"]),
+                    bounds=row["bounds"],
+                )
+                if list(hist.bounds) != list(row["bounds"]):
+                    raise ConfigError(
+                        f"histogram {name!r} bucket bounds differ between "
+                        f"merged registries"
+                    )
+                for i, n in enumerate(row["counts"]):
+                    hist.counts[i] += int(n)
+                hist.total += float(row["total"])
+                hist.count += int(row["count"])
+                hist.vmin = min(hist.vmin, float(row["vmin"]))
+                hist.vmax = max(hist.vmax, float(row["vmax"]))
+            else:
+                raise ConfigError(f"unknown instrument kind {kind!r} for {name!r}")
+
     def render_table(self) -> str:
         """Human-readable metrics table grouped by layer."""
         lines = [f"{'metric':<36}{'kind':>10}  {'value':>42}  unit"]

@@ -153,6 +153,55 @@ class Tracer:
         span.end = end
         return span
 
+    # -- cross-process merge ---------------------------------------------------
+    def dump_spans(self) -> List[Dict[str, Any]]:
+        """Plain-data view of every span plus thread labels, for
+        shipping a worker process's trace back to the parent."""
+        return [
+            {
+                "span_id": s.span_id,
+                "parent_id": s.parent_id,
+                "name": s.name,
+                "cat": s.cat,
+                "start": s.start,
+                "end": s.end,
+                "pid": s.pid,
+                "tid": s.tid,
+                "args": s.args,
+            }
+            for s in self.spans
+        ]
+
+    def absorb(self, spans: List[Dict[str, Any]], pid_offset: int = 0,
+               thread_labels: Optional[Dict[int, str]] = None) -> None:
+        """Merge spans dumped by another tracer (:meth:`dump_spans`).
+
+        Span ids are reallocated from this tracer's counter and parent
+        links are remapped accordingly; pids are shifted by
+        ``pid_offset`` so merged runs keep distinct process lanes in
+        the exported trace.
+        """
+        id_map: Dict[int, int] = {}
+        for row in spans:
+            self._next_id += 1
+            id_map[row["span_id"]] = self._next_id
+        for row in spans:
+            parent = row["parent_id"]
+            span = Span(
+                span_id=id_map[row["span_id"]],
+                name=row["name"],
+                cat=row["cat"],
+                start=row["start"],
+                pid=row["pid"] + pid_offset,
+                tid=row["tid"],
+                parent_id=id_map.get(parent) if parent is not None else None,
+                args=row["args"],
+            )
+            span.end = row["end"]
+            self.spans.append(span)
+        for tid, label in (thread_labels or {}).items():
+            self.label_thread(int(tid), label)
+
     # -- queries ---------------------------------------------------------------
     @property
     def finished(self) -> List[Span]:

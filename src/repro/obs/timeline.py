@@ -116,6 +116,19 @@ class Timeline:
             "series": {name: list(col) for name, col in sorted(self.series.items())},
         }
 
+    @classmethod
+    def from_json_obj(cls, obj: Dict, run_offset: int = 0) -> "Timeline":
+        """Rebuild a timeline dumped by :meth:`to_json_obj` — the
+        inverse used when merging worker-process observability payloads
+        (``run_offset`` keeps run indices unique in the parent)."""
+        tl = cls(run_index=int(obj["run"]) + run_offset, interval=float(obj["interval"]))
+        tl.times = [float(t) for t in obj["times"]]
+        tl.series = {
+            str(name): [float(v) for v in col]
+            for name, col in obj["series"].items()
+        }
+        return tl
+
     def __len__(self) -> int:
         return len(self.times)
 

@@ -102,7 +102,7 @@ def test_series_helpers():
     s = Series("x", [1, 2, 4], [10.0, 20.0, 15.0], [0.0, 1.0, 0.5])
     assert s.peak == 20.0
     assert s.at(4) == 15.0
-    with pytest.raises(ValueError):
+    with pytest.raises(ConfigError, match=r"series 'x'.*\[1, 2, 4\]"):
         s.at(99)
 
 

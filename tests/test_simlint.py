@@ -74,6 +74,28 @@ def test_sl001_allowlist_and_sim_time_clean(lint):
     assert findings == []
 
 
+def test_sl001_executor_allowed_other_harness_files_not(lint):
+    # the executor's wall-clock reporting is allowlisted, but the
+    # exemption is per-file: any other harness module reading the host
+    # clock still trips SL001
+    findings = lint({
+        "harness/executor.py": """
+            import time
+
+            def run_tasks():
+                return time.perf_counter()
+        """,
+        "harness/scheduler.py": """
+            import time
+
+            def deadline():
+                return time.perf_counter()
+        """,
+    })
+    assert codes(findings) == ["SL001"]
+    assert findings[0].path.endswith("harness/scheduler.py")
+
+
 # ---------------------------------------------------------------- SL002
 
 

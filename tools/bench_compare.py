@@ -37,7 +37,9 @@ def load(path: str) -> Dict:
         doc = json.load(fh)
     if not isinstance(doc, dict) or "schema" not in doc or "figures" not in doc:
         raise ValueError(f"{path}: not a BENCH document")
-    if doc["schema"] != 1:
+    # schema 2 added executor/cache accounting; the fields compared
+    # here (wall clock, series, checks) are identical in both layouts
+    if doc["schema"] not in (1, 2):
         raise ValueError(f"{path}: unsupported BENCH schema {doc['schema']!r}")
     return doc
 
@@ -54,6 +56,14 @@ def compare(old: Dict, new: Dict, wall_tolerance: float) -> tuple:
         infos.append(
             f"note: comparing different scales "
             f"({old.get('scale')!r} vs {new.get('scale')!r})"
+        )
+    old_jobs = (old.get("executor") or {}).get("jobs", 1)
+    new_jobs = (new.get("executor") or {}).get("jobs", 1)
+    if old_jobs != new_jobs:
+        infos.append(
+            f"note: executor jobs differ ({old_jobs} vs {new_jobs}); "
+            f"wall-clock comparisons are apples-to-oranges "
+            f"(modelled series must still match exactly)"
         )
     for fig_id, o in sorted(old["figures"].items()):
         n = new["figures"].get(fig_id)

@@ -14,7 +14,7 @@ Run:  python examples/redundancy_failures.py
 """
 
 from repro.daos import DaosClient, Pool
-from repro.errors import UnavailableError
+from repro.errors import DataLossError
 from repro.hardware import Cluster
 from repro.units import GiB, MiB
 from repro.workloads.common import DaosEnv, WorkloadConfig
@@ -61,8 +61,8 @@ def failure_tolerance() -> None:
                 ok = data == payload
                 print(f"  {name:8s}: read after failure -> "
                       f"{'data intact' if ok else 'CORRUPTED'}")
-            except UnavailableError:
-                print(f"  {name:8s}: read after failure -> UNAVAILABLE (as expected)")
+            except DataLossError:
+                print(f"  {name:8s}: read after failure -> DATA LOST (as expected)")
 
     proc = cluster.sim.process(scenario())
     cluster.sim.run()

@@ -26,7 +26,7 @@ from repro.daos.obj import DaosObject
 from repro.daos.objclass import ObjectClass
 from repro.daos.oid import ObjectId
 from repro.daos.pool import Target
-from repro.errors import InvalidArgumentError, UnavailableError
+from repro.errors import DataLossError, InvalidArgumentError, UnavailableError
 from repro.units import MiB
 
 __all__ = ["DaosArray"]
@@ -53,6 +53,10 @@ class DaosArray(DaosObject):
         super().__init__(container, oid, oc)
         self.chunk_size = int(chunk_size)
         self._size = 0
+        #: reads served by a non-primary replica or through EC
+        #: reconstruction since creation (clients diff this to count
+        #: ``ops.failed_over``)
+        self.failovers = 0
         #: per chunk index, the number of valid bytes written in it
         self._extents: Dict[int, int] = {}
 
@@ -106,7 +110,7 @@ class DaosArray(DaosObject):
                     buf[: len(data)] = data
                     break
             else:
-                raise UnavailableError(
+                raise DataLossError(
                     f"chunk {chunk_idx} of {self.oid}: no live replica"
                 )
         # Bytes past the valid extent (e.g. after a truncate) are holes.
@@ -119,7 +123,7 @@ class DaosArray(DaosObject):
         if all(j in cells for j in range(k)):
             return [cells[j] for j in range(k)]
         if len(cells) < k:
-            raise UnavailableError(
+            raise DataLossError(
                 f"chunk {chunk_idx} of {self.oid}: only {len(cells)} of {k} cells live"
             )
         return erasure.reconstruct(cells, k, p, cell_length=self.cell_size)
@@ -266,17 +270,33 @@ class DaosArray(DaosObject):
             if self.oc.is_ec:
                 per_cell = read_len / self.oc.ec_k
                 served = 0
+                failed_over = False
                 for member, target in enumerate(group):
                     if served >= self.oc.ec_k:
                         break
                     if target.alive:
                         charges[target] = charges.get(target, 0) + int(round(per_cell))
                         served += 1
+                    else:
+                        failed_over = True  # a cell must come from parity
+                if served < self.oc.ec_k:
+                    raise DataLossError(
+                        f"chunk {chunk_idx} of {self.oid}: "
+                        f"only {served} of {self.oc.ec_k} cells live"
+                    )
+                if failed_over:
+                    self.failovers += 1
             else:
-                for target in group:
+                for member, target in enumerate(group):
                     if target.alive:
                         charges[target] = charges.get(target, 0) + read_len
+                        if member > 0:
+                            self.failovers += 1
                         break
+                else:
+                    raise DataLossError(
+                        f"chunk {chunk_idx} of {self.oid}: no live replica"
+                    )
         return bytes(out), charges
 
     def bulk_charges(self, kind: str, nbytes: int) -> Dict[Target, float]:

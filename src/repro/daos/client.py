@@ -31,8 +31,10 @@ from repro.daos.kv import DaosKV
 from repro.daos.objclass import ObjectClass
 from repro.daos.params import DaosParams
 from repro.daos.pool import Engine, Pool, Target
-from repro.errors import InvalidArgumentError
+from repro.errors import InvalidArgumentError, UnavailableError
+from repro.faults.retry import RetryPolicy
 from repro.hardware.cluster import ClientNode, Cluster
+from repro.sim.core import Interrupt
 from repro.sim.flownet import Link
 from repro.units import MiB
 
@@ -49,6 +51,7 @@ class DaosClient:
         node: ClientNode,
         name: Optional[str] = None,
         jitter_sigma: float = 0.0,
+        retry_policy: Optional[RetryPolicy] = None,
     ):
         self.cluster = cluster
         self.pool = pool
@@ -57,6 +60,13 @@ class DaosClient:
         self.net = cluster.net
         self.params: DaosParams = pool.params
         self.name = name or f"daos@{node.name}"
+        #: retry/timeout/backoff for data-path ops; the default policy
+        #: injects no events on the happy path, so fault-free timing is
+        #: unchanged
+        self.retry = retry_policy or RetryPolicy()
+        self._retry_rng = None  # created on first backoff draw
+        self.retries = 0
+        self.failed_over = 0
         #: per-client multiplicative jitter on serial overheads
         self.jitter = cluster.rng.lognormal_factor(f"{self.name}.jitter", jitter_sigma)
         # Per-op latency noise: real RPCs vary op to op, which is what
@@ -80,6 +90,14 @@ class DaosClient:
                 "daos.md.ops", unit="ops",
                 description="engine metadata + pool-service operations",
             )
+            self._m_retried = reg.counter(
+                "ops.retried", unit="ops",
+                description="operations re-attempted after UnavailableError/timeout",
+            )
+            self._m_failed_over = reg.counter(
+                "ops.failed_over", unit="ops",
+                description="reads served by a non-primary replica or EC reconstruction",
+            )
 
     # ------------------------------------------------------------------ timing
     def _serial(self, extra: float = 0.0):
@@ -90,6 +108,51 @@ class DaosClient:
         if self._obs is not None:
             self._m_rpc.inc()
         return self.sim.timeout(dt)
+
+    # ----------------------------------------------------------------- retries
+    def _backoff_rng(self):
+        if self._retry_rng is None:
+            self._retry_rng = self.cluster.rng.stream(f"{self.name}.retry")
+        return self._retry_rng
+
+    def _with_retry(self, make_op, name: str) -> Generator:
+        """Run ``make_op()`` (a coroutine factory) under the client's
+        :class:`~repro.faults.retry.RetryPolicy`.
+
+        ``UnavailableError`` — a down target, a write below quorum, or a
+        per-op timeout — is retried with exponential backoff up to
+        ``max_attempts``; each retry re-runs the functional op against
+        the *current* pool map, so writes land on the post-rebuild
+        layout and reads fail over to surviving replicas.  Anything
+        else (notably :class:`~repro.errors.DataLossError`) propagates
+        immediately.  With ``op_timeout`` unset the op runs inline:
+        fault-free runs see the exact same event sequence as without
+        the retry layer.
+        """
+        policy = self.retry
+        attempt = 1
+        while True:
+            try:
+                if policy.op_timeout is None:
+                    return (yield from make_op())
+                proc = self.sim.process(make_op(), name=f"{self.name}.{name}")
+                index, value = yield self.sim.any_of(
+                    [proc, self.sim.timeout(policy.op_timeout)]
+                )
+                if index == 0:
+                    return value
+                proc.interrupt("op-timeout")
+                raise UnavailableError(
+                    f"{self.name}: {name} timed out after {policy.op_timeout} s"
+                )
+            except UnavailableError:
+                if attempt >= policy.max_attempts:
+                    raise
+                self.retries += 1
+                if self._obs is not None:
+                    self._m_retried.inc()
+                yield self.sim.timeout(policy.delay(attempt, self._backoff_rng()))
+                attempt += 1
 
     def _link_loads_for_data(
         self,
@@ -164,7 +227,12 @@ class DaosClient:
         if not usages:
             return
         flow = self.net.transfer(units, usages, demand_cap=demand_cap, name=name)
-        yield flow.done
+        try:
+            yield flow.done
+        except Interrupt:
+            # op timed out (retry path): release the flow's link shares
+            self.net.cancel(flow)
+            raise
 
     def bulk_transfer(
         self,
@@ -316,21 +384,42 @@ class DaosClient:
         Engines buffer and flush asynchronously, so the op is bounded by
         NICs and the node-aggregate SSD channel, never by the single
         device absorbing it (see :meth:`_link_loads_for_data`).
+
+        Runs under the client's retry policy: a write rejected by a down
+        group retries against the post-rebuild pool map.
         """
-        yield self._serial()
-        charges = arr.write(offset, data=data, nbytes=nbytes)
-        yield from self.bulk_transfer(
-            "write", charges, self._request_ops(charges), name="arr-write"
-        )
+
+        def op() -> Generator:
+            yield self._serial()
+            charges = arr.write(offset, data=data, nbytes=nbytes)
+            yield from self.bulk_transfer(
+                "write", charges, self._request_ops(charges), name="arr-write"
+            )
+
+        return (yield from self._with_retry(op, "arr-write"))
 
     def array_read(self, arr: DaosArray, offset: int, nbytes: int) -> Generator:
-        """Timed Array read; returns the bytes."""
-        yield self._serial()
-        data, charges = arr.read(offset, nbytes)
-        yield from self.bulk_transfer(
-            "read", charges, self._request_ops(charges), name="arr-read"
-        )
-        return data
+        """Timed Array read; returns the bytes.
+
+        Reads route around dead targets inside the functional store
+        (replica failover / EC reconstruction, counted as
+        ``ops.failed_over``); the retry policy covers timeouts and
+        transient unavailability."""
+
+        def op() -> Generator:
+            yield self._serial()
+            before = arr.failovers
+            data, charges = arr.read(offset, nbytes)
+            if arr.failovers > before:
+                self.failed_over += 1
+                if self._obs is not None:
+                    self._m_failed_over.inc()
+            yield from self.bulk_transfer(
+                "read", charges, self._request_ops(charges), name="arr-read"
+            )
+            return data
+
+        return (yield from self._with_retry(op, "arr-read"))
 
     def array_size(self, arr: DaosArray) -> Generator:
         """Timed size query (the per-read check Field I/O performs and
@@ -357,21 +446,31 @@ class DaosClient:
         """Timed KV put; replicas are charged one md op + value bytes each.
         KV data lives in engine DRAM (the paper's deployments store
         metadata in DRAM), so no SSD channel is charged."""
-        yield self._serial()
-        charges = kv.put(key, value)
-        yield from self.bulk_transfer(
-            "write", charges, self._kv_md_ops(charges), touch_ssd=False, name="kv-put"
-        )
+
+        def op() -> Generator:
+            yield self._serial()
+            charges = kv.put(key, value)
+            yield from self.bulk_transfer(
+                "write", charges, self._kv_md_ops(charges), touch_ssd=False,
+                name="kv-put",
+            )
+
+        return (yield from self._with_retry(op, "kv-put"))
 
     def kv_get(self, kv: DaosKV, key: str) -> Generator:
         """Timed KV get; returns the value bytes."""
-        yield self._serial()
-        value, target = kv.get(key)
-        charges = {target: len(value)}
-        yield from self.bulk_transfer(
-            "read", charges, {target.engine: 1.0}, touch_ssd=False, name="kv-get"
-        )
-        return value
+
+        def op() -> Generator:
+            yield self._serial()
+            value, target = kv.get(key)
+            charges = {target: len(value)}
+            yield from self.bulk_transfer(
+                "read", charges, {target.engine: 1.0}, touch_ssd=False,
+                name="kv-get",
+            )
+            return value
+
+        return (yield from self._with_retry(op, "kv-get"))
 
     def kv_remove(self, kv: DaosKV, key: str) -> Generator:
         yield self._serial()

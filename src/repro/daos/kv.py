@@ -17,7 +17,12 @@ from repro.daos.objclass import ObjectClass
 from repro.daos.oid import ObjectId
 from repro.daos.placement import jump_consistent_hash
 from repro.daos.pool import Target
-from repro.errors import InvalidArgumentError, NotFoundError, UnavailableError
+from repro.errors import (
+    DataLossError,
+    InvalidArgumentError,
+    NotFoundError,
+    UnavailableError,
+)
 from repro.sim.randomness import stable_hash64
 
 __all__ = ["DaosKV", "MAX_KEY_LENGTH"]
@@ -89,7 +94,8 @@ class DaosKV(DaosObject):
         group = self.groups[gi]
         alive = [(m, t) for m, t in enumerate(group) if t.alive]
         if not alive:
-            raise UnavailableError(f"no live replica for key {key!r}")
+            # every replica (and its data) is gone: not retryable
+            raise DataLossError(f"no live replica for key {key!r}")
         for member, target in alive:
             store = target.kv_shards.get(self.shard_key(gi, member))
             if store is not None and key in store:

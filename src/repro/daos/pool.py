@@ -118,6 +118,9 @@ class Pool:
         )
         self._containers: Dict[str, "Container"] = {}
         self._next_container_id = 0
+        #: bumped on every pool-map change (target fail/restore, rebuild
+        #: shard relocation) so layout-dependent caches can invalidate
+        self.map_version = 0
 
     # -- topology ------------------------------------------------------------
     @property
@@ -177,11 +180,13 @@ class Pool:
     def fail_target(self, global_index: int) -> Target:
         target = self.ring[global_index]
         target.fail()
+        self.map_version += 1
         return target
 
     def restore_target(self, global_index: int) -> Target:
         target = self.ring[global_index]
         target.restore()
+        self.map_version += 1
         return target
 
     def __repr__(self) -> str:  # pragma: no cover

@@ -19,8 +19,9 @@ from typing import Dict, Generator, List, Optional, Tuple
 from repro.daos.array import DaosArray
 from repro.daos.kv import DaosKV
 from repro.daos.pool import Pool, Target
-from repro.errors import DataLossError
+from repro.errors import ConfigError, DataLossError
 from repro.daos import erasure
+from repro.sim.flownet import Link
 
 __all__ = ["RebuildReport", "plan_rebuild", "run_rebuild"]
 
@@ -146,6 +147,10 @@ def run_rebuild(pool: Pool, failed: Target, bandwidth_share: float = 0.25) -> Ge
     ``bandwidth_share`` throttles rebuild traffic (real DAOS paces
     rebuild to protect foreground I/O).  Returns a :class:`RebuildReport`.
     """
+    if not 0.0 < bandwidth_share <= 1.0:
+        raise ConfigError(
+            f"bandwidth_share must be in (0, 1], got {bandwidth_share!r}"
+        )
     cluster = pool.cluster
     sim = cluster.sim
     t0 = sim.now
@@ -164,16 +169,16 @@ def run_rebuild(pool: Pool, failed: Target, bandwidth_share: float = 0.25) -> Ge
             report.objects_lost.append(str(obj.oid))
             continue
         group[mi] = dest  # the pool map now points at the replacement
+        pool.map_version += 1
         report.shards_rebuilt += 1
         report.bytes_moved += written
         if written > 0:
             # server-to-server movement: sources read + send, dest receives
             # and writes, throttled to the configured share of each link
-            loads = {}
-            share = max(bandwidth_share, 1e-3)
+            loads: Dict[Link, float] = {}
 
-            def add(link, amount):
-                loads[link] = loads.get(link, 0.0) + amount / share
+            def add(link: Link, amount: float) -> None:
+                loads[link] = loads.get(link, 0.0) + amount / bandwidth_share
 
             for source, nbytes in reads.items():
                 add(source.device.read_link, nbytes)

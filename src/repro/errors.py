@@ -50,6 +50,11 @@ class UnavailableError(StorageError):
     request (EIO / -DER_UNREACH)."""
 
 
+class DegradedError(StorageError):
+    """The targeted service or device is degraded/offline and refuses to
+    serve requests until an administrator intervenes (Lustre-style EIO)."""
+
+
 class DataLossError(StorageError):
     """Data could not be reconstructed: more failures than the redundancy
     scheme tolerates."""

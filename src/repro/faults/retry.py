@@ -1,0 +1,60 @@
+"""Client retry policy: attempts, per-op timeout, exponential backoff.
+
+Backoff jitter draws from a named :class:`~repro.sim.randomness.RngStreams`
+stream owned by the retrying client, so retry timing is deterministic
+per seed and independent across clients — the same de-correlation real
+jittered backoff buys, without wall-clock randomness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+__all__ = ["RetryPolicy"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How a client responds to :class:`~repro.errors.UnavailableError`.
+
+    ``max_attempts`` counts the first try: 3 means up to two retries.
+    ``op_timeout`` (simulated seconds) aborts an in-flight operation and
+    counts it as one failed attempt; ``None`` disables the timeout.
+    Retry *n* (1-based) waits ``backoff_base * backoff_factor**(n-1)``
+    seconds, scaled by a lognormal jitter factor of sigma ``jitter``.
+
+    The default policy never injects events on the happy path: timing
+    of fault-free runs is unchanged.
+    """
+
+    max_attempts: int = 3
+    op_timeout: Optional[float] = None
+    backoff_base: float = 1e-3
+    backoff_factor: float = 2.0
+    jitter: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.op_timeout is not None and self.op_timeout <= 0:
+            raise ConfigError(f"op_timeout must be > 0, got {self.op_timeout}")
+        if self.backoff_base <= 0:
+            raise ConfigError(f"backoff_base must be > 0, got {self.backoff_base}")
+        if self.backoff_factor < 1.0:
+            raise ConfigError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor}"
+            )
+        if self.jitter < 0:
+            raise ConfigError(f"jitter must be >= 0, got {self.jitter}")
+
+    def delay(self, attempt: int, rng: Optional[np.random.Generator] = None) -> float:
+        """Backoff before retry number ``attempt`` (1 = first retry)."""
+        base = self.backoff_base * self.backoff_factor ** (attempt - 1)
+        if self.jitter > 0 and rng is not None:
+            base *= float(np.exp(rng.normal(0.0, self.jitter)))
+        return base

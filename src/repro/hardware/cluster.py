@@ -132,6 +132,9 @@ class Cluster:
         self.clients: list[ClientNode] = [
             ClientNode(self, i, client_spec) for i in range(n_clients)
         ]
+        #: set by repro.faults.FaultController; workloads announce phase
+        #: starts through it so plans can anchor events to phases
+        self.fault_controller = None
 
     # -- capacity rooflines (used by the harness for "ideal" series) --------
     def write_roofline(self) -> float:

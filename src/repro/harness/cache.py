@@ -41,7 +41,8 @@ from repro.harness.experiment import (
 __all__ = ["CacheStats", "ResultCache", "RESULT_SCHEMA", "point_key"]
 
 #: layout version of the cached-result JSON payload
-RESULT_SCHEMA = 1
+#: 2: added spec.faults + write/read_windows + lost_ops (fault runs)
+RESULT_SCHEMA = 2
 
 
 def point_key(spec: PointSpec, reps: int, base_seed: int = 0) -> str:
@@ -124,12 +125,16 @@ class ResultCache:
                 "batches": spec.batches,
                 "mode": spec.mode,
                 "extra": [list(item) for item in spec.extra],
+                "faults": spec.faults,
             },
             "write_bw": list(result.write_bw),
             "read_bw": list(result.read_bw),
             "write_iops": list(result.write_iops),
             "read_iops": list(result.read_iops),
             "reps": result.reps,
+            "write_windows": [list(w) for w in result.write_windows],
+            "read_windows": [list(w) for w in result.read_windows],
+            "lost_ops": list(result.lost_ops),
         }
 
     @staticmethod
@@ -144,6 +149,13 @@ class ResultCache:
             write_iops=(doc["write_iops"][0], doc["write_iops"][1]),
             read_iops=(doc["read_iops"][0], doc["read_iops"][1]),
             reps=int(doc["reps"]),
+            write_windows=tuple(
+                (w[0], w[1], w[2]) for w in doc["write_windows"]
+            ),
+            read_windows=tuple(
+                (w[0], w[1], w[2]) for w in doc["read_windows"]
+            ),
+            lost_ops=(doc["lost_ops"][0], doc["lost_ops"][1]),
         )
 
     # -- lookup/store --------------------------------------------------------

@@ -121,9 +121,23 @@ def main(argv=None) -> int:
         help="dump every figure's series (full float precision) to this "
              "JSON file — for byte-identity diffs across executors/caches",
     )
+    parser.add_argument(
+        "--faults", metavar="SPEC", default="",
+        help="overlay a fault plan (docs/FAULTS.md grammar, e.g. "
+             "'target@read+0.02:5,rebuild') onto every point of the "
+             "requested figures; rawio probe points are left untouched",
+    )
     args = parser.parse_args(argv)
     if args.jobs < 1:
         parser.error(f"--jobs must be >= 1, got {args.jobs}")
+    if args.faults:
+        from repro.errors import ConfigError
+        from repro.faults import parse_fault_plan
+
+        try:
+            parse_fault_plan(args.faults)
+        except ConfigError as exc:
+            parser.error(f"--faults: {exc}")
 
     fig_ids = sorted(FIGURES) if args.figure == "all" else [args.figure]
     if any(f not in FIGURES for f in fig_ids):
@@ -168,9 +182,14 @@ def main(argv=None) -> int:
             obs_mod.Observability(timeline=timeline_cfg) if observe else None
         )
         t0 = time.perf_counter()
+        plan = plan_figure(fig_id, args.scale)
+        if args.faults:
+            from repro.harness.plan import with_faults
+
+            plan = with_faults(plan, args.faults)
         with obs_mod.activated(obs):
             result, exec_report = execute_plan(
-                plan_figure(fig_id, args.scale), executor=executor, cache=cache
+                plan, executor=executor, cache=cache
             )
         wall = time.perf_counter() - t0
         if obs is not None:

@@ -35,8 +35,9 @@ from typing import Dict, Optional, Tuple
 
 import repro.obs
 from repro.errors import ConfigError
+from repro.faults import FaultController, parse_fault_plan
 from repro.hardware.cluster import Cluster
-from repro.sim.stats import mean_std
+from repro.sim.stats import PhaseRecorder, mean_std
 from repro.units import MiB
 from repro.workloads.common import CephEnv, DaosEnv, LustreEnv, WorkloadConfig
 from repro.workloads.fdb_hammer import run_fdb_hammer
@@ -46,6 +47,7 @@ from repro.workloads.rawio import measure_dd, measure_iperf
 
 __all__ = [
     "MODEL_VERSION",
+    "PROFILE_WINDOWS",
     "PointSpec",
     "PointResult",
     "point_seed",
@@ -62,6 +64,9 @@ MODEL_VERSION = "2"
 _STORES = ("daos", "lustre", "ceph")
 _WORKLOADS = ("ior", "fieldio", "fdb", "rawio")
 _RAWIO_PROBES = ("dd", "iperf")
+
+#: windows of the time-resolved bandwidth profile fault runs retain
+PROFILE_WINDOWS = 16
 
 
 @dataclass(frozen=True)
@@ -82,6 +87,9 @@ class PointSpec:
     mode: str = "aggregate"
     #: runner-specific kwargs (stripe_count, pg_num, ...), as sorted items
     extra: Tuple[Tuple[str, object], ...] = ()
+    #: fault-plan spec string (see ``docs/FAULTS.md``); "" = no faults.
+    #: Stored in canonical form so equal plans hash equally.
+    faults: str = ""
 
     def __post_init__(self) -> None:
         if self.store not in _STORES:
@@ -92,6 +100,11 @@ class PointSpec:
             raise ConfigError(
                 f"rawio probe must be one of {_RAWIO_PROBES}, got {self.api!r}"
             )
+        if self.faults:
+            if self.workload == "rawio":
+                raise ConfigError("rawio probes do not support fault injection")
+            # validate eagerly and canonicalise (round-trip the parser)
+            object.__setattr__(self, "faults", parse_fault_plan(self.faults).spec())
 
     def with_(self, **kwargs) -> "PointSpec":
         return replace(self, **kwargs)
@@ -107,7 +120,14 @@ class PointSpec:
 
 @dataclass
 class PointResult:
-    """Aggregated measurements of one point (bytes/s and ops/s)."""
+    """Aggregated measurements of one point (bytes/s and ops/s).
+
+    Fault-bearing points additionally carry per-phase time-resolved
+    bandwidth profiles — :data:`PROFILE_WINDOWS` ``(time, mean B/s,
+    std B/s)`` triples, aggregated window-by-window across reps — and
+    the mean/std count of operations lost to exhausted redundancy.
+    Fault-free points leave them empty (schema defaults).
+    """
 
     spec: PointSpec
     write_bw: Tuple[float, float]  # (mean, std)
@@ -115,12 +135,18 @@ class PointResult:
     write_iops: Tuple[float, float]
     read_iops: Tuple[float, float]
     reps: int
+    write_windows: Tuple[Tuple[float, float, float], ...] = ()
+    read_windows: Tuple[Tuple[float, float, float], ...] = ()
+    lost_ops: Tuple[float, float] = (0.0, 0.0)
 
     def bw(self, phase: str) -> float:
         return (self.write_bw if phase == "write" else self.read_bw)[0]
 
     def iops(self, phase: str) -> float:
         return (self.write_iops if phase == "write" else self.read_iops)[0]
+
+    def windows(self, phase: str) -> Tuple[Tuple[float, float, float], ...]:
+        return self.write_windows if phase == "write" else self.read_windows
 
 
 def spec_token(spec: PointSpec) -> str:
@@ -131,8 +157,18 @@ def spec_token(spec: PointSpec) -> str:
     identical across interpreter runs and worker processes (it never
     depends on ``PYTHONHASHSEED``).  Both the seed derivation and the
     result cache key hash this token.
+
+    Later-added fields are skipped at their default (``faults`` at
+    ``""``), so fault-free points keep the token — and therefore the
+    seed and every modelled number — they had before the field existed.
+    Injectivity holds: a non-default value always appears, prefixed by
+    its unique field name.
     """
-    parts = [f"{f.name}={getattr(spec, f.name)!r}" for f in fields(spec)]
+    parts = [
+        f"{f.name}={getattr(spec, f.name)!r}"
+        for f in fields(spec)
+        if not (f.name == "faults" and getattr(spec, f.name) == "")
+    ]
     return "PointSpec(" + ", ".join(parts) + ")"
 
 
@@ -175,12 +211,19 @@ def _run_rawio(spec: PointSpec, seed: int) -> Tuple[float, float, float, float]:
     return phases[0], phases[1], 0.0, 0.0
 
 
-def _run_once(spec: PointSpec, seed: int) -> Tuple[float, float, float, float]:
-    """One seeded simulation; returns (write B/s, read B/s, write op/s,
-    read op/s)."""
+def _run_once(spec: PointSpec, seed: int):
+    """One seeded simulation; returns ``(write B/s, read B/s, write
+    op/s, read op/s, {phase: bandwidth profile}, lost op count)``.
+
+    Profiles are only computed (and records only retained) when the
+    spec carries a fault plan; fault-free points pay nothing for them.
+    """
     if spec.workload == "rawio":
-        return _run_rawio(spec, seed)
+        w, r, wi, ri = _run_rawio(spec, seed)
+        return w, r, wi, ri, {}, 0
     env = _build_env(spec, seed)
+    if spec.faults:
+        FaultController(env, parse_fault_plan(spec.faults))
     cfg = WorkloadConfig(
         n_client_nodes=spec.n_client_nodes,
         ppn=spec.ppn,
@@ -191,19 +234,32 @@ def _run_once(spec: PointSpec, seed: int) -> Tuple[float, float, float, float]:
         object_class=spec.object_class,
         kv_object_class=spec.kv_object_class,
     )
+    recorder = PhaseRecorder(keep_records=bool(spec.faults))
     if spec.workload == "ior":
-        recorder = run_ior(env, cfg, spec.api, **spec.extra_kwargs)
+        recorder = run_ior(env, cfg, spec.api, recorder=recorder, **spec.extra_kwargs)
     elif spec.workload == "fieldio":
-        recorder = run_fieldio(env, cfg)
+        recorder = run_fieldio(env, cfg, recorder=recorder)
     else:
-        recorder = run_fdb_hammer(env, cfg, spec.api, **spec.extra_kwargs)
+        recorder = run_fdb_hammer(
+            env, cfg, spec.api, recorder=recorder, **spec.extra_kwargs
+        )
     if env.cluster.obs is not None:
         env.cluster.obs.finalize_run(env.cluster)
+    profiles = {}
+    lost = 0
+    if spec.faults:
+        for phase in ("write", "read"):
+            profile = recorder.bandwidth_profile(phase, PROFILE_WINDOWS)
+            if profile:
+                profiles[phase] = profile
+            lost += recorder.lost_ops(phase)
     return (
         recorder.bandwidth("write"),
         recorder.bandwidth("read"),
         recorder.iops("write"),
         recorder.iops("read"),
+        profiles,
+        lost,
     )
 
 
@@ -231,12 +287,19 @@ def run_point(
         with repro.obs.activated(obs):
             return run_point(spec, reps=reps, base_seed=base_seed)
     w_bw, r_bw, w_io, r_io = [], [], [], []
+    profile_runs: Dict[str, list] = {"write": [], "read": []}
+    lost_counts = []
     for rep in range(reps):
-        w, r, wi, ri = _run_once(spec, seed=point_seed(spec, rep, base_seed))
+        w, r, wi, ri, profiles, lost = _run_once(
+            spec, seed=point_seed(spec, rep, base_seed)
+        )
         w_bw.append(w)
         r_bw.append(r)
         w_io.append(wi)
         r_io.append(ri)
+        lost_counts.append(float(lost))
+        for phase, profile in profiles.items():
+            profile_runs[phase].append(profile)
     return PointResult(
         spec=spec,
         write_bw=mean_std(w_bw),
@@ -244,4 +307,22 @@ def run_point(
         write_iops=mean_std(w_io),
         read_iops=mean_std(r_io),
         reps=reps,
+        write_windows=_aggregate_windows(profile_runs["write"]),
+        read_windows=_aggregate_windows(profile_runs["read"]),
+        lost_ops=mean_std(lost_counts) if spec.faults else (0.0, 0.0),
     )
+
+
+def _aggregate_windows(runs: list) -> Tuple[Tuple[float, float, float], ...]:
+    """Window-by-window aggregation of per-rep bandwidth profiles into
+    ``(mean time, mean B/s, std B/s)`` triples (reps differ slightly in
+    phase extent, so times are averaged like the bandwidths)."""
+    if not runs:
+        return ()
+    n_windows = min(len(profile) for profile in runs)
+    out = []
+    for w in range(n_windows):
+        t_mean = sum(profile[w][0] for profile in runs) / len(runs)
+        bw_mean, bw_std = mean_std([profile[w][1] for profile in runs])
+        out.append((t_mean, bw_mean, bw_std))
+    return tuple(out)

@@ -684,6 +684,94 @@ def plan_rp2(scale: str = "quick") -> RunPlan:
     return make_plan("RP2", scale, g["reps"], [plain_spec, rp2_spec], assemble)
 
 
+# ----------------------------------------------------------------------- FD / faults
+
+
+def _dip(windows: Sequence[Tuple[float, float, float]]) -> Tuple[bool, str]:
+    """Whether a bandwidth profile shows a degraded-mode dip: some
+    interior window at <= 90% of the interior peak (edge windows are
+    excluded — phase ramp-in/out is not a fault effect)."""
+    interior = [w[1] for w in windows[1:-1]]
+    if len(interior) < 2:
+        return False, f"profile too short ({len(windows)} windows)"
+    lo, hi = min(interior), max(interior)
+    return lo <= 0.9 * hi, f"interior min {lo / GiB:.2f} / max {hi / GiB:.2f} GiB/s"
+
+
+def plan_fd(scale: str = "quick") -> RunPlan:
+    """Degraded-mode IOR: a single-target failure mid-read, with rebuild
+    as competing background traffic, across redundancy classes.
+
+    Not a figure of the paper — the paper measures healthy clusters
+    only — but a direct consequence of its Section II-B redundancy
+    model: SX (no protection) must lose operations, while RP_2 and
+    EC 2+1 must ride through on surviving replicas / parity
+    reconstruction with a visible bandwidth dip and zero lost ops.
+    """
+    g = _grids(scale)
+    ops = 144 if scale == "quick" else 288
+    base = PointSpec(
+        workload="ior", store="daos", api="DAOS", n_servers=2,
+        n_client_nodes=2, ppn=4, ops_per_process=ops, op_size=MiB,
+        mode="exact", faults="target@read+0.02:5,rebuild",
+    )
+    classes = [("SX", "SX"), ("RP_2", "RP_2GX"), ("EC_2P1", "EC_2P1GX")]
+    specs = [base.with_(object_class=oc) for _, oc in classes]
+
+    def assemble(results: Results) -> FigureResult:
+        panels: Dict[str, List[Series]] = {"read profile": []}
+        lost: Dict[str, float] = {}
+        windows: Dict[str, Tuple[Tuple[float, float, float], ...]] = {}
+        for (label, oc), spec in zip(classes, specs):
+            point = results[spec]
+            lost[label] = point.lost_ops[0]
+            windows[label] = point.read_windows
+            panels["read profile"].append(
+                Series(
+                    label,
+                    [w[0] for w in point.read_windows],
+                    [w[1] / GiB for w in point.read_windows],
+                    [w[2] / GiB for w in point.read_windows],
+                )
+            )
+        rp2_dip, rp2_detail = _dip(windows["RP_2"])
+        ec_dip, ec_detail = _dip(windows["EC_2P1"])
+        checks = [
+            _check(
+                "SX loses data on target failure",
+                lost["SX"] > 0,
+                f"{lost['SX']:.1f} lost ops/rep",
+            ),
+            _check(
+                "RP_2 rides through (no lost ops)",
+                lost["RP_2"] == 0,
+                f"{lost['RP_2']:.1f} lost ops/rep",
+            ),
+            _check(
+                "EC_2P1 rides through (no lost ops)",
+                lost["EC_2P1"] == 0,
+                f"{lost['EC_2P1']:.1f} lost ops/rep",
+            ),
+            _check("RP_2 shows a degraded-mode dip", rp2_dip, rp2_detail),
+            _check("EC_2P1 shows a degraded-mode dip", ec_dip, ec_detail),
+        ]
+        return FigureResult(
+            fig_id="FD",
+            title="Degraded mode: IOR read across a single-target failure",
+            xlabel="time (s)",
+            panels=panels,
+            paper_expectation=(
+                "a failed target costs SX its share of the data; RP_2 and "
+                "EC 2+1 keep serving byte-identical reads from surviving "
+                "replicas / parity reconstruction at reduced bandwidth while "
+                "the rebuild competes for the surviving devices"
+            ),
+            checks=checks,
+        )
+
+    return make_plan("FD", scale, g["reps"], specs, assemble)
+
+
 # ----------------------------------------------------------------------- F7 / Lustre IOR
 
 
@@ -955,6 +1043,7 @@ FIGURES: Dict[str, Callable[[str], RunPlan]] = {
     "F5": plan_fig5,
     "F6": plan_fig6,
     "RP2": plan_rp2,
+    "FD": plan_fd,
     "F7": plan_fig7,
     "LIOR": plan_lustre_ior,
     "F8": plan_fig8,

@@ -33,7 +33,7 @@ from repro.harness.experiment import PointResult, PointSpec
 if TYPE_CHECKING:  # pragma: no cover - typing only (figures imports us)
     from repro.harness.figures import FigureResult
 
-__all__ = ["RunPlan", "PlanBatch", "make_plan", "dedupe_plans"]
+__all__ = ["RunPlan", "PlanBatch", "make_plan", "dedupe_plans", "with_faults"]
 
 #: assembly signature: results for every spec of the plan -> the figure
 Assembler = Callable[[Mapping[PointSpec, PointResult]], "FigureResult"]
@@ -94,6 +94,37 @@ def make_plan(
         specs=tuple(unique),
         assembler=assembler,
         requested=len(specs),
+    )
+
+
+def with_faults(plan: RunPlan, faults: str) -> RunPlan:
+    """Overlay a fault-plan spec onto every point of a plan.
+
+    Returns a new :class:`RunPlan` whose specs carry ``faults`` (rawio
+    probe points are left untouched — hardware probes have no stores to
+    break) and whose assembler remaps results back onto the original
+    specs, so figure assembly code is oblivious to the overlay.
+    """
+    if not faults:
+        return plan
+    mapping: Dict[PointSpec, PointSpec] = {}
+    for spec in plan.specs:
+        mapping[spec] = spec if spec.workload == "rawio" else spec.with_(faults=faults)
+
+    def assembler(results: Mapping[PointSpec, PointResult]) -> "FigureResult":
+        remapped: Dict[PointSpec, PointResult] = dict(results)
+        for original, faulted in mapping.items():
+            if faulted in results:
+                remapped[original] = results[faulted]
+        return plan.assembler(remapped)
+
+    return RunPlan(
+        fig_id=plan.fig_id,
+        scale=plan.scale,
+        reps=plan.reps,
+        specs=tuple(dict.fromkeys(mapping.values())),
+        assembler=assembler,
+        requested=plan.requested,
     )
 
 

@@ -25,6 +25,8 @@ SL005     ``time_probe`` callbacks must not schedule events or mutate the
           flow network (one-level call-graph walk)
 SL006     broad ``except Exception`` without re-raise or justification
 SL007     mutable default arguments
+SL009     ``except DataLossError`` whose body neither records the loss
+          nor re-raises
 SL000     file could not be parsed (reported, never crashes the run)
 SL008     unused ``# simlint: disable`` suppression
 ========  ================================================================

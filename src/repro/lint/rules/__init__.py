@@ -1,6 +1,7 @@
 """Built-in rule set.  Importing this package registers every rule."""
 
 from repro.lint.rules import (  # noqa: F401
+    dataloss,
     defaults,
     excepts,
     floateq,

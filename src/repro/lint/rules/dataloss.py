@@ -1,0 +1,58 @@
+"""SL009: fault handlers must not swallow data loss.
+
+:class:`repro.errors.DataLossError` means redundancy is exhausted — the
+bytes are gone and no retry can bring them back.  A handler that
+catches it and does nothing (``pass``, a bare docstring, ``continue``
+with no accounting) turns a data-loss event into silently complete
+reads, which is exactly the failure mode the fault-injection subsystem
+exists to surface.  Handlers must either record the loss (any real
+statement counts) or re-raise; an intentional no-op needs an explicit
+``# simlint: disable=SL009`` justification.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterable
+
+from repro.lint.config import LintConfig
+from repro.lint.findings import Finding
+from repro.lint.registry import Rule, register
+from repro.lint.rules.excepts import _names, _reraises
+
+if TYPE_CHECKING:
+    from repro.lint.engine import FileContext, ProjectIndex
+
+
+def _is_noop(stmt: ast.stmt) -> bool:
+    """A statement that performs no accounting: ``pass``, a constant
+    expression (docstring/ellipsis), or a bare ``continue``."""
+    if isinstance(stmt, (ast.Pass, ast.Continue)):
+        return True
+    return isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant)
+
+
+@register
+class SwallowedDataLossRule(Rule):
+    code = "SL009"
+    name = "no-swallowed-data-loss"
+    description = (
+        "'except DataLossError' whose body does nothing; record the loss "
+        "or re-raise"
+    )
+
+    def check(self, ctx: "FileContext", project: "ProjectIndex", config: LintConfig) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if "DataLossError" not in _names(node.type):
+                continue
+            if _reraises(node):
+                continue
+            if not all(_is_noop(stmt) for stmt in node.body):
+                continue
+            yield self.finding(
+                ctx, node.lineno, node.col_offset,
+                "except DataLossError that neither records the loss nor "
+                "re-raises hides exhausted redundancy; count it or raise",
+            )

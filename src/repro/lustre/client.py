@@ -6,7 +6,7 @@ import numpy as np
 
 from typing import Dict, Generator, List, Optional, Tuple
 
-from repro.errors import InvalidArgumentError
+from repro.errors import DegradedError, InvalidArgumentError
 from repro.hardware.cluster import ClientNode
 from repro.lustre.fs import LustreFilesystem
 from repro.lustre.mds import Inode
@@ -145,6 +145,8 @@ class LustreClient:
                 add(self.node.nic_rx, total / eff)
         per_node: Dict[int, float] = {}
         for ost, nbytes in per_ost.items():
+            if not ost.alive:
+                raise DegradedError(f"OST {ost.name} is degraded")
             per_node[ost.node.index] = per_node.get(ost.node.index, 0.0) + nbytes
             # OSS writeback caches decouple writes from individual device
             # channels (node-aggregate still charged below); reads are
@@ -282,7 +284,7 @@ class LustreClient:
             readable = max(0, min(length, handle.inode.size - (offset + pos)))
             if readable > 0:
                 per_ost[ost] = per_ost.get(ost, 0) + readable
-                obj = ost.objects.get((handle.inode.inode_id, stripe))
+                obj = ost.lookup((handle.inode.inode_id, stripe))
                 if obj is not None and chunk_idx in obj:
                     piece = bytes(obj[chunk_idx][in_chunk : in_chunk + readable])
                     out[pos : pos + len(piece)] = piece

@@ -2,8 +2,9 @@
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional
 
+from repro.errors import DegradedError
 from repro.hardware.cluster import ServerNode
 from repro.hardware.ssd import SsdDevice
 
@@ -19,21 +20,44 @@ class Ost:
         self.local_index = local_index
         self.device = device
         self.index: int = -1  # global, assigned by the filesystem
+        self.alive = True
         self.objects: Dict[tuple, Dict[int, bytes]] = {}
 
     @property
     def name(self) -> str:
         return f"ost{self.index}@{self.node.name}"
 
+    def fail(self) -> None:
+        """Mark the OST inactive; stripe objects on it are lost (device
+        replacement).  Lustre has no server-driven rebuild: data stays
+        gone until re-written."""
+        self.alive = False
+        self.objects.clear()
+
+    def restore(self) -> None:
+        self.alive = True
+
+    def _check_alive(self) -> None:
+        if not self.alive:
+            raise DegradedError(f"OST {self.name} is degraded")
+
     def store(self, key: tuple) -> Dict[int, bytes]:
+        self._check_alive()
         obj = self.objects.get(key)
         if obj is None:
             obj = {}
             self.objects[key] = obj
         return obj
 
+    def lookup(self, key: tuple) -> Optional[Dict[int, bytes]]:
+        self._check_alive()
+        return self.objects.get(key)
+
     def drop(self, key: tuple) -> None:
+        # unlink of a file striped over a dead OST is allowed: the
+        # object is already gone, so this is a functional no-op there
         self.objects.pop(key, None)
 
     def __repr__(self) -> str:  # pragma: no cover
-        return f"<Ost {self.name} objects={len(self.objects)}>"
+        state = "up" if self.alive else "DOWN"
+        return f"<Ost {self.name} {state} objects={len(self.objects)}>"

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.errors import SimulationError
 
@@ -26,6 +26,8 @@ class PhaseStats:
     name: str
     bytes: int = 0
     ops: int = 0
+    #: operations that ended in unrecoverable data loss (fault runs)
+    lost_ops: int = 0
     first_start: float = math.inf
     last_end: float = -math.inf
     #: per-record durations (only meaningful for per-op records, i.e.
@@ -80,10 +82,18 @@ class PhaseStats:
 
 
 class PhaseRecorder:
-    """Collects per-phase I/O records from every simulated process."""
+    """Collects per-phase I/O records from every simulated process.
 
-    def __init__(self) -> None:
+    With ``keep_records=True`` every record's ``(start, end, nbytes)``
+    is retained, enabling :meth:`bandwidth_profile` — the time-resolved
+    view degraded-mode figures plot.  Off by default: fault-free runs
+    keep the flat counters only.
+    """
+
+    def __init__(self, keep_records: bool = False) -> None:
         self._phases: Dict[str, PhaseStats] = {}
+        self.keep_records = keep_records
+        self._records: Dict[str, List[Tuple[float, float, int]]] = {}
 
     def phase(self, name: str) -> PhaseStats:
         stats = self._phases.get(name)
@@ -104,6 +114,70 @@ class PhaseRecorder:
             stats.first_start = start
         if end > stats.last_end:
             stats.last_end = end
+        if self.keep_records:
+            self._records.setdefault(phase, []).append((start, end, int(nbytes)))
+
+    def record_lost(self, phase: str, start: float, end: float, ops: int = 1) -> None:
+        """Record operations that failed with unrecoverable data loss.
+
+        The elapsed time still extends the phase window (the process
+        *spent* that time) but moves no bytes and completes no ops.
+        """
+        if end < start:
+            raise SimulationError(f"I/O record ends before it starts ({start} > {end})")
+        stats = self.phase(phase)
+        stats.lost_ops += int(ops)
+        if start < stats.first_start:
+            stats.first_start = start
+        if end > stats.last_end:
+            stats.last_end = end
+        if self.keep_records:
+            self._records.setdefault(phase, []).append((start, end, 0))
+
+    def lost_ops(self, phase: str) -> int:
+        stats = self._phases.get(phase)
+        return stats.lost_ops if stats else 0
+
+    def bandwidth_profile(
+        self, phase: str, windows: int
+    ) -> List[Tuple[float, float]]:
+        """Time-resolved bandwidth: ``windows`` equal slices of the phase
+        window, each ``(window_mid_time, bytes_per_second)``.
+
+        Every record's bytes are spread uniformly over its ``[start,
+        end]`` interval, so an op spanning a window boundary contributes
+        to both sides proportionally.  Requires ``keep_records=True``;
+        returns ``[]`` when the phase is empty or was not retained.
+        """
+        if windows < 1:
+            raise SimulationError(f"windows must be >= 1, got {windows}")
+        records = self._records.get(phase)
+        stats = self._phases.get(phase)
+        if not records or stats is None or stats.elapsed <= 0:
+            return []
+        t0, t1 = stats.first_start, stats.last_end
+        width = (t1 - t0) / windows
+        totals = [0.0] * windows
+        for start, end, nbytes in records:
+            if nbytes <= 0:
+                continue
+            if end <= start:
+                # instantaneous record: bin it whole
+                w = min(int((start - t0) / width), windows - 1)
+                totals[w] += nbytes
+                continue
+            rate = nbytes / (end - start)
+            first_w = max(0, min(int((start - t0) / width), windows - 1))
+            last_w = max(0, min(int((end - t0) / width), windows - 1))
+            for w in range(first_w, last_w + 1):
+                lo = t0 + w * width
+                overlap = min(end, lo + width) - max(start, lo)
+                if overlap > 0:
+                    totals[w] += rate * overlap
+        return [
+            (t0 + (w + 0.5) * width, totals[w] / width)
+            for w in range(windows)
+        ]
 
     def get(self, phase: str) -> Optional[PhaseStats]:
         return self._phases.get(phase)

@@ -11,7 +11,7 @@ from repro.daos.client import DaosClient
 from repro.daos.pool import Pool
 from repro.dfs.dfs import Dfs
 from repro.dfuse.mount import DfuseMount, DfuseParams, InterceptedMount
-from repro.errors import ConfigError
+from repro.errors import ConfigError, DataLossError
 from repro.hardware.cluster import ClientNode, Cluster
 from repro.lustre.client import LustreClient
 from repro.lustre.fs import LustreFilesystem
@@ -142,6 +142,14 @@ class PhasedRunner:
         return
         yield  # pragma: no cover
 
+    def _mark_phase(self, phase: str) -> None:
+        """Announce phase entry to a fault controller, if one is attached
+        (phase-anchored fault events key off this; idempotent across
+        ranks, which all arrive at the same simulated time)."""
+        controller = getattr(self.cluster, "fault_controller", None)
+        if controller is not None:
+            controller.mark_phase(phase)
+
     # -- skeleton ------------------------------------------------------------------
     def phases(self):
         out = []
@@ -158,6 +166,7 @@ class PhasedRunner:
         state = yield from self.setup(rank)
         yield self.phase_barrier.wait()
         for phase in self.phases():
+            self._mark_phase(phase)
             op = self.write_op if phase == "write" else self.read_op
             span = None
             if obs is not None:
@@ -167,7 +176,13 @@ class PhasedRunner:
                 )
             for i in range(cfg.ops_per_process):
                 t0 = self.sim.now
-                yield from op(state, i)
+                try:
+                    yield from op(state, i)
+                except DataLossError:
+                    # redundancy exhausted for this extent: count it and
+                    # keep going, like IOR reporting a failed transfer
+                    self.recorder.record_lost(phase, t0, self.sim.now)
+                    continue
                 self.recorder.record(phase, t0, self.sim.now, cfg.op_size)
                 if obs is not None:
                     self._m_ops.inc()
@@ -198,6 +213,7 @@ class PhasedRunner:
         states = yield from self.setup_group(node, ranks)
         yield self.phase_barrier.wait()
         for phase in self.phases():
+            self._mark_phase(phase)
             span = None
             if obs is not None:
                 span = obs.tracer.begin(
@@ -207,8 +223,14 @@ class PhasedRunner:
             for batch in range(cfg.batches):
                 ops = cfg.ops_in_batch(batch)
                 t0 = self.sim.now
-                yield self.sim.timeout(ops * self.serial_per_op(node, phase))
-                yield from self.batch_flow(node, states, phase, ops)
+                try:
+                    yield self.sim.timeout(ops * self.serial_per_op(node, phase))
+                    yield from self.batch_flow(node, states, phase, ops)
+                except DataLossError:
+                    self.recorder.record_lost(
+                        phase, t0, self.sim.now, ops=len(ranks) * ops
+                    )
+                    continue
                 self.recorder.record(
                     phase, t0, self.sim.now, len(ranks) * ops * cfg.op_size,
                     ops=len(ranks) * ops,
@@ -237,11 +259,14 @@ class DaosEnv:
         pool: Optional[Pool] = None,
         jitter_sigma: float = 0.02,
         dfuse_params: Optional[DfuseParams] = None,
+        retry_policy=None,
     ):
         self.cluster = cluster
         self.pool = pool or Pool(cluster)
         self.jitter_sigma = jitter_sigma
         self.dfuse_params = dfuse_params or DfuseParams()
+        #: RetryPolicy handed to every client this env creates
+        self.retry_policy = retry_policy
         self._clients: Dict[int, DaosClient] = {}
         self._dfuse: Dict[int, DfuseMount] = {}
         self._il: Dict[int, InterceptedMount] = {}
@@ -251,7 +276,9 @@ class DaosEnv:
         c = self._clients.get(node.index)
         if c is None:
             c = DaosClient(
-                self.cluster, self.pool, node, jitter_sigma=self.jitter_sigma
+                self.cluster, self.pool, node,
+                jitter_sigma=self.jitter_sigma,
+                retry_policy=self.retry_policy,
             )
             self._clients[node.index] = c
         return c

@@ -157,7 +157,9 @@ class _DaosIor(_IorRunner):
         charges: Dict[Target, float] = {}
         for state in states:
             arr = self._array_of(state)
-            key = (id(arr), kind)
+            # keyed on the pool-map version so fault injection / rebuild
+            # relayouts invalidate the cached profile
+            key = (id(arr), kind, arr.container.pool.map_version)
             unit = self._unit_charges.get(key)
             if unit is None:
                 unit = arr.bulk_charges(kind, 1)

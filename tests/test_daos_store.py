@@ -7,6 +7,7 @@ from repro.daos import DaosArray, DaosKV, Pool
 from repro.daos.objclass import ObjectClass
 from repro.daos.oid import ObjectId
 from repro.errors import (
+    DataLossError,
     ExistsError,
     InvalidArgumentError,
     NotFoundError,
@@ -173,7 +174,7 @@ def test_kv_unreplicated_fails_on_dead_target(pool):
     kv.put("k", b"v")
     target = kv.groups[kv._group_for("k")][0]
     pool.fail_target(target.global_index)
-    with pytest.raises(UnavailableError):
+    with pytest.raises(DataLossError):
         kv.get("k")
     pool.restore_target(target.global_index)
     # the target came back but its data was wiped (device replacement)
@@ -334,7 +335,7 @@ def test_array_ec_two_failures_lose_data(pool):
     arr.write(0, b"D" * 8 * KiB)
     pool.fail_target(arr.groups[0][0].global_index)
     pool.fail_target(arr.groups[0][1].global_index)
-    with pytest.raises(UnavailableError):
+    with pytest.raises(DataLossError):
         arr.read(0, 8 * KiB)
 
 

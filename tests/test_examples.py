@@ -45,7 +45,7 @@ def test_weather_fields(capsys):
 def test_redundancy_failures(capsys):
     out = run_example("redundancy_failures.py", capsys)
     assert "EC 2+1" in out
-    assert "UNAVAILABLE (as expected)" in out
+    assert "DATA LOST (as expected)" in out
     assert "data intact" in out
 
 

@@ -361,6 +361,83 @@ def test_sl006_narrow_or_reraise_clean(lint):
     assert findings == []
 
 
+# ---------------------------------------------------------------- SL009
+
+
+def test_sl009_swallowed_dataloss_fires(lint):
+    findings = lint({"model.py": """
+        from repro.errors import DataLossError
+
+        def swallow():
+            try:
+                read()
+            except DataLossError:
+                pass
+
+        def swallow_docstring_continue():
+            for chunk in chunks:
+                try:
+                    read(chunk)
+                except DataLossError:
+                    "gone anyway"
+                    continue
+    """})
+    assert codes(findings) == ["SL009", "SL009"]
+    assert "redundancy" in findings[0].message
+
+
+def test_sl009_dotted_and_tuple_forms_fire(lint):
+    findings = lint({"model.py": """
+        import repro.errors as errors
+
+        def swallow():
+            try:
+                read()
+            except (OSError, errors.DataLossError):
+                pass
+    """})
+    assert codes(findings) == ["SL009"]
+
+
+def test_sl009_recording_or_reraise_clean(lint):
+    findings = lint({"model.py": """
+        from repro.errors import DataLossError
+
+        def records(recorder):
+            try:
+                read()
+            except DataLossError:
+                recorder.record_lost("read", 0.0, 0.0)
+
+        def reraises():
+            try:
+                read()
+            except DataLossError:
+                cleanup()
+                raise
+
+        def other_error_is_sl009s_business_not_this():
+            try:
+                read()
+            except KeyError:
+                pass
+    """})
+    assert findings == []
+
+
+def test_sl009_suppressible(lint):
+    findings = lint({"model.py": """
+        from repro.errors import DataLossError
+
+        def probe():
+            try:
+                read()
+            except DataLossError:  # simlint: disable=SL009 -- probing liveness only
+                pass
+    """})
+    assert findings == []
+
+
 # ---------------------------------------------------------------- SL007
 
 

@@ -8,6 +8,7 @@ Run:  pytest benchmarks/bench_simulator.py --benchmark-only
 """
 
 from repro.hardware import Cluster
+from repro.obs import ProfileRecorder
 from repro.sim.core import Simulator
 from repro.sim.flownet import FlowNetwork
 from repro.units import MiB
@@ -16,21 +17,25 @@ from repro.workloads.ior import run_ior
 
 
 def test_event_loop_dispatch(benchmark):
-    """Raw calendar throughput: 50k timeout events."""
+    """Raw calendar throughput: 50k timeout events, counted (and the
+    dispatch rate attributed) by the engine's own simprof recorder."""
 
     def run():
         sim = Simulator()
-        count = {"n": 0}
+        prof = ProfileRecorder()
+        sim.profile = prof
 
         def tick():
-            count["n"] += 1
+            pass
 
         for i in range(50_000):
             sim.schedule(i * 1e-6, tick)
         sim.run()
-        return count["n"]
+        return prof
 
-    assert benchmark(run) == 50_000
+    prof = benchmark(run)
+    assert prof.events_dispatched == 50_000
+    assert prof.events_per_second() > 0
 
 
 def test_process_switching(benchmark):
@@ -57,6 +62,7 @@ def test_flownet_reallocation_figure_scale(benchmark):
 
     def run():
         sim = Simulator()
+        sim.profile = ProfileRecorder()
         net = FlowNetwork(sim)
         links = [net.add_link(f"l{i}", 1e9) for i in range(600)]
         import itertools
@@ -73,6 +79,7 @@ def test_flownet_reallocation_figure_scale(benchmark):
         for i in range(64):
             sim.process(driver(i))
         sim.run()
+        assert sim.profile.recomputes == net.reallocations
         return net.reallocations
 
     reallocs = benchmark(run)

@@ -10,7 +10,11 @@ workflow a user follows when a number looks off:
    analyzer and watch the saturation unfold on a timeline;
 4. sweep client configurations with the harness optimiser (the paper's
    own methodology, Section II) to find where the curve saturates;
-5. confirm against the analytic roofline from ``repro.analysis``.
+5. confirm against the analytic roofline from ``repro.analysis``;
+6. profile the *simulator itself* with simprof — which callback sites
+   and flow-network recomputes ate the host's wall clock, and what the
+   per-op tail latencies looked like — when the figure build, rather
+   than the modelled system, is what needs speeding up.
 
 Run:  python examples/performance_debugging.py
 """
@@ -81,8 +85,34 @@ def roofline_check() -> None:
     print("(the paper's runs landed at ~94% of their rooflines, too)")
 
 
+def profile_engine() -> None:
+    print("\n== 6. profile the simulator itself (simprof) ==")
+    o = obs_mod.Observability(profile=obs_mod.ProfileRecorder())
+    base = PointSpec(
+        workload="ior", store="daos", api="DAOS",
+        n_servers=N_SERVERS, n_client_nodes=4, ppn=16, ops_per_process=48,
+        mode="exact",  # per-op client calls, so tail latencies observe
+    )
+    run_point(base, reps=1, obs=o)
+    o.finalize()
+    # where the host time went: hot callback sites, recompute cost,
+    # dispatch throughput
+    print(obs_mod.render_hot_paths(o.profile))
+    # modelled per-op tail latency (simulated seconds, deterministic):
+    hist = o.registry.get("workload.lat.write")
+    if hist is not None and hist.count:
+        p50, p99, p999 = hist.percentiles()
+        print(f"\nper-op write latency over {hist.count} ops: "
+              f"p50={p50 * 1e3:.2f}ms p99={p99 * 1e3:.2f}ms "
+              f"p999={p999 * 1e3:.2f}ms")
+    print("(the CLI equivalents: --profile for this table, "
+          "--profile-flame for flamegraph.pl/speedscope input, "
+          "--profile-json for the raw recorder state)")
+
+
 if __name__ == "__main__":
     traced_run()
     critical_path()
     optimise_clients()
     roofline_check()
+    profile_engine()

@@ -100,6 +100,14 @@ class RadosClient:
             )
             self._m_bytes_w = reg.counter("ceph.osd.bytes_written", unit="B")
             self._m_bytes_r = reg.counter("ceph.osd.bytes_read", unit="B")
+            self._m_lat_w = reg.latency_histogram(
+                "ceph.lat.write", unit="s",
+                description="per-op object write latency (replicated and EC)",
+            )
+            self._m_lat_r = reg.latency_histogram(
+                "ceph.lat.read", unit="s",
+                description="per-op object read latency (replicated and EC)",
+            )
             self._m_osd_ops = reg.counter(
                 "ceph.osd.ops", unit="ops",
                 description="request slots consumed across OSDs",
@@ -270,9 +278,12 @@ class RadosClient:
         if offset < 0:
             raise InvalidArgumentError(f"negative offset: {offset}")
         self._check_write_bounds(pool, obj, offset + nbytes)
+        start = self.sim.now
         yield self._serial()
         if pool.is_ec:
             yield from self._ec_write(pool, obj, offset, data, nbytes)
+            if self._obs is not None:
+                self._m_lat_w.observe(self.sim.now - start)
             return
         acting = pool.acting_set(obj)
         per_osd: Dict[Osd, int] = {osd: nbytes for osd in acting}
@@ -286,6 +297,8 @@ class RadosClient:
             record["size"] = max(record["size"], offset + nbytes)
         pool.object_sizes[obj] = max(pool.object_sizes.get(obj, 0), offset + nbytes)
         yield from self._data_flow("write", per_osd, "rados-write")
+        if self._obs is not None:
+            self._m_lat_w.observe(self.sim.now - start)
 
     def _ec_write(self, pool: CephPool, obj: str, offset: int, data, nbytes: int) -> Generator:
         """EC pools accept only full-object writes (real librados rejects
@@ -320,6 +333,7 @@ class RadosClient:
         """Read from the primary OSD; returns bytes (zeros when the pool
         is non-materialising)."""
         self._require_connected()
+        start = self.sim.now
         yield self._serial()
         if obj not in pool.object_sizes:
             raise NotFoundError(f"object {obj!r} not found in pool {pool.name!r}")
@@ -329,9 +343,13 @@ class RadosClient:
             return b""
         if pool.is_ec:
             data = yield from self._ec_read(pool, obj, offset, readable)
+            if self._obs is not None:
+                self._m_lat_r.observe(self.sim.now - start)
             return data
         primary = pool.pgmap.primary(obj)
         yield from self._data_flow("read", {primary: readable}, "rados-read")
+        if self._obs is not None:
+            self._m_lat_r.observe(self.sim.now - start)
         record = primary.objects.get((pool.name, obj))
         if pool.materialize and record is not None:
             piece = bytes(record["data"][offset : offset + readable])

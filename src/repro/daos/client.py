@@ -98,6 +98,13 @@ class DaosClient:
                 "ops.failed_over", unit="ops",
                 description="reads served by a non-primary replica or EC reconstruction",
             )
+            self._m_lat = {
+                op: reg.latency_histogram(
+                    f"daos.lat.{op}", unit="s",
+                    description="completed-op latency, retries/backoff included",
+                )
+                for op in ("arr-write", "arr-read", "kv-put", "kv-get")
+            }
 
     # ------------------------------------------------------------------ timing
     def _serial(self, extra: float = 0.0):
@@ -130,21 +137,31 @@ class DaosClient:
         the retry layer.
         """
         policy = self.retry
+        # per-op tail latency: measured start-to-success in simulated
+        # time (retries and backoff included), so p999 reflects what a
+        # caller actually waited for the op
+        hist = self._m_lat.get(name) if self._obs is not None else None
+        start = self.sim.now
         attempt = 1
         while True:
             try:
                 if policy.op_timeout is None:
-                    return (yield from make_op())
-                proc = self.sim.process(make_op(), name=f"{self.name}.{name}")
-                index, value = yield self.sim.any_of(
-                    [proc, self.sim.timeout(policy.op_timeout)]
-                )
-                if index == 0:
-                    return value
-                proc.interrupt("op-timeout")
-                raise UnavailableError(
-                    f"{self.name}: {name} timed out after {policy.op_timeout} s"
-                )
+                    value = yield from make_op()
+                else:
+                    proc = self.sim.process(make_op(), name=f"{self.name}.{name}")
+                    index, got = yield self.sim.any_of(
+                        [proc, self.sim.timeout(policy.op_timeout)]
+                    )
+                    if index != 0:
+                        proc.interrupt("op-timeout")
+                        raise UnavailableError(
+                            f"{self.name}: {name} timed out after "
+                            f"{policy.op_timeout} s"
+                        )
+                    value = got
+                if hist is not None:
+                    hist.observe(self.sim.now - start)
+                return value
             except UnavailableError:
                 if attempt >= policy.max_attempts:
                     raise

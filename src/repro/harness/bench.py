@@ -9,7 +9,12 @@ Runs every figure at quick scale and records, per figure:
 - the **host** cost — wall-clock seconds and simulator events executed,
   hence events/second.  This is the ROADMAP north-star ("as fast as the
   hardware allows"): a >10% wall-clock regression between two BENCH
-  files fails the comparison.
+  files fails the comparison;
+- the **engine** profile (schema 3, via simprof): flow-network
+  recomputes and the event-queue depth high-water mark per figure.
+  ``events``/``recomputes``/``peak_queue_depth`` are deterministic per
+  seed, so the comparator treats any change as a semantic model/kernel
+  change; the derived per-second rates get the wall-clock tolerance.
 
 The document is schema-versioned so future PRs can evolve the layout
 without breaking the comparator::
@@ -48,9 +53,11 @@ __all__ = [
 
 #: schema version of the BENCH json document.  Version 2 added the
 #: ``executor``/``cache`` top-level fields and the per-figure
-#: ``execution`` record (plan sizes, dedup, executed points);
-#: ``tools/bench_compare.py`` accepts 1 and 2.
-BENCH_SCHEMA = 2
+#: ``execution`` record (plan sizes, dedup, executed points); version 3
+#: added the simprof engine fields per figure (``recomputes``,
+#: ``recomputes_per_second``, ``peak_queue_depth``);
+#: ``tools/bench_compare.py`` accepts 1 through 3.
+BENCH_SCHEMA = 3
 
 
 def git_sha(short: bool = True) -> str:
@@ -75,8 +82,15 @@ def figure_record(
     wall_seconds: float,
     events: int,
     execution: Optional[ExecutionReport] = None,
+    profile: Optional[obs_mod.ProfileRecorder] = None,
 ) -> Dict:
-    """One figure's BENCH entry from its result + host-side cost."""
+    """One figure's BENCH entry from its result + host-side cost.
+
+    With a simprof ``profile`` the schema-3 engine fields are included:
+    ``recomputes`` and ``peak_queue_depth`` (deterministic per seed,
+    compared exactly) plus ``recomputes_per_second`` (wall-derived,
+    compared with tolerance, like ``events_per_second``).
+    """
     series: Dict[str, Dict] = {}
     for panel, rows in sorted(result.panels.items()):
         for s in rows:
@@ -95,6 +109,12 @@ def figure_record(
         "checks_total": len(result.checks),
         "series": series,
     }
+    if profile is not None:
+        rec["recomputes"] = int(profile.recomputes)
+        rec["recomputes_per_second"] = (
+            profile.recomputes / wall_seconds if wall_seconds > 0 else 0.0
+        )
+        rec["peak_queue_depth"] = int(profile.queue_depth_peak)
     if execution is not None:
         exec_doc = execution.as_dict()
         # cumulative cache stats live at the document top level; the
@@ -125,10 +145,11 @@ def collect_bench(
         "figures": {},
     }
     for fig_id in fig_ids:
-        # A fresh Observability per figure isolates the event counter;
-        # instrumentation never changes modelled numbers, so the recorded
-        # series are identical to an unobserved run.
-        obs = obs_mod.Observability()
+        # A fresh Observability (with a simprof recorder for the schema-3
+        # engine fields) per figure isolates the counters; instrumentation
+        # never changes modelled numbers, so the recorded series are
+        # identical to an unobserved run.
+        obs = obs_mod.Observability(profile=obs_mod.ProfileRecorder())
         t0 = time.perf_counter()
         with obs_mod.activated(obs):
             result, report = execute_plan(
@@ -138,13 +159,15 @@ def collect_bench(
         obs.finalize()
         events = int(obs.registry.counter("sim.events_executed").value)
         doc["figures"][fig_id] = figure_record(
-            result, wall, events, execution=report
+            result, wall, events, execution=report, profile=obs.profile
         )
         if verbose:
             rec = doc["figures"][fig_id]
             print(
                 f"{fig_id:>5}: {wall:7.2f}s  {events:>9} events  "
                 f"{rec['events_per_second']:>10.0f} ev/s  "
+                f"{rec['recomputes']:>8} recomputes  "
+                f"qpeak {rec['peak_queue_depth']:>6}  "
                 f"checks {rec['checks_passed']}/{rec['checks_total']}"
             )
     if cache is not None:

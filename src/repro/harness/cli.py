@@ -8,6 +8,7 @@ Usage::
     python -m repro.harness.cli F1 --trace f1.json --metrics
     python -m repro.harness.cli F1 --timeline f1_timeline.csv
     python -m repro.harness.cli all --bench BENCH_new.json
+    python -m repro.harness.cli F1 --profile --profile-flame f1.folded
 
 ``--trace`` writes a Chrome trace-event file (open it at
 https://ui.perfetto.dev or chrome://tracing); ``--metrics`` prints the
@@ -16,6 +17,11 @@ readably.  ``--timeline`` samples link utilisation / in-flight flows at
 a fixed sim-time interval and exports the series (``.csv`` long format,
 anything else JSON).  ``--bench`` records modelled results + host
 wall-clock per figure into a BENCH json for ``tools/bench_compare.py``.
+``--profile`` turns on simprof (the engine's self-profiler: events/sec,
+per-callback-site wall attribution, flow-network recompute stats,
+queue-depth peaks) and prints a hot-path table per figure;
+``--profile-json`` dumps the recorder state and ``--profile-flame``
+writes collapsed-stack lines for flamegraph.pl / speedscope.app.
 Each flag activates the observability layer for the whole build;
 instrumentation never changes the simulated numbers (see
 docs/OBSERVABILITY.md).
@@ -103,6 +109,21 @@ def main(argv=None) -> int:
              "a BENCH json (see tools/bench_compare.py)",
     )
     parser.add_argument(
+        "--profile", action="store_true",
+        help="profile the simulator engine (simprof) and print the "
+             "hot-path table after each figure",
+    )
+    parser.add_argument(
+        "--profile-json", metavar="PATH",
+        help="dump per-figure simprof state (callback sites, recompute "
+             "stats, queue peaks, hot-site table) to this JSON file",
+    )
+    parser.add_argument(
+        "--profile-flame", metavar="PATH",
+        help="write collapsed-stack lines for the profiled figures "
+             "(feed to flamegraph.pl or paste into speedscope.app)",
+    )
+    parser.add_argument(
         "--jobs", type=int, default=1, metavar="N",
         help="execute figure points across N worker processes "
              "(default: 1, in-process serial execution)",
@@ -143,9 +164,13 @@ def main(argv=None) -> int:
     if any(f not in FIGURES for f in fig_ids):
         parser.error(f"unknown figure {args.figure!r}; known: {sorted(FIGURES)}")
 
+    profiling = (
+        args.profile or bool(args.profile_json) or bool(args.profile_flame)
+        or bool(args.bench)
+    )
     observe = (
         bool(args.trace) or args.metrics or bool(args.metrics_json)
-        or bool(args.timeline) or bool(args.bench)
+        or bool(args.timeline) or bool(args.bench) or profiling
     )
     timeline_cfg = (
         obs_mod.TimelineConfig(interval=args.timeline_interval)
@@ -164,6 +189,7 @@ def main(argv=None) -> int:
     timelines = []
     metrics_doc = {}
     series_doc = {}
+    profiles = {}
     bench_doc = None
     if args.bench:
         from repro.harness.bench import BENCH_SCHEMA, figure_record, git_sha
@@ -179,7 +205,11 @@ def main(argv=None) -> int:
     failures = 0
     for fig_id in fig_ids:
         obs = (
-            obs_mod.Observability(timeline=timeline_cfg) if observe else None
+            obs_mod.Observability(
+                timeline=timeline_cfg,
+                profile=obs_mod.ProfileRecorder() if profiling else None,
+            )
+            if observe else None
         )
         t0 = time.perf_counter()
         plan = plan_figure(fig_id, args.scale)
@@ -198,6 +228,9 @@ def main(argv=None) -> int:
         if args.metrics and obs is not None:
             print()
             print(obs.registry.render_table())
+        if args.profile and obs is not None and obs.profile is not None:
+            print()
+            print(obs_mod.render_hot_paths(obs.profile))
         print(
             f"(built in {wall:.1f}s at scale={args.scale}; "
             f"{exec_report.summary()})\n"
@@ -209,12 +242,15 @@ def main(argv=None) -> int:
         if obs is not None:
             traced.append((fig_id, obs.tracer))
             timelines.extend(obs.timelines)
+            if obs.profile is not None:
+                profiles[fig_id] = obs.profile
             if args.metrics_json:
                 metrics_doc[fig_id] = obs.registry.snapshot()
             if bench_doc is not None:
                 events = int(obs.registry.counter("sim.events_executed").value)
                 bench_doc["figures"][fig_id] = figure_record(
-                    result, wall, events, execution=exec_report
+                    result, wall, events, execution=exec_report,
+                    profile=obs.profile,
                 )
     if cache is not None:
         print(f"cache: {cache.stats.summary()} -> {cache.root}")
@@ -230,6 +266,12 @@ def main(argv=None) -> int:
         else:
             obs_mod.export_timelines_json(args.timeline, timelines)
             print(f"{len(timelines)} timeline run(s) written to {args.timeline}")
+    if args.profile_json:
+        obs_mod.export_profile_json(args.profile_json, profiles)
+        print(f"profile written to {args.profile_json}")
+    if args.profile_flame:
+        n = obs_mod.export_collapsed_stacks(args.profile_flame, profiles)
+        print(f"{n} collapsed-stack line(s) written to {args.profile_flame}")
     if args.metrics_json:
         with open(args.metrics_json, "w") as fh:
             json.dump(metrics_doc, fh, indent=2, sort_keys=True)

@@ -101,17 +101,23 @@ def _run_task_observed(
     task: PointTask,
     observe: bool,
     timeline: Optional[obs_mod.TimelineConfig],
+    profile: bool = False,
 ) -> Tuple[PointResult, Optional[Dict[str, Any]]]:
     """Worker-side entry point (module-level, hence picklable).
 
     Explicitly controls the ambient observability: under a forking
     start method the child would otherwise inherit the parent's active
-    Observability and mutate a copy nobody reads.
+    Observability and mutate a copy nobody reads.  ``profile`` mirrors
+    whether the parent carries a simprof recorder: the worker profiles
+    with a private one and its mergeable state rides the dump.
     """
     if not observe:
         with obs_mod.activated(None):
             return run_point(task.spec, reps=task.reps, base_seed=task.base_seed), None
-    obs = obs_mod.Observability(timeline=timeline)
+    obs = obs_mod.Observability(
+        timeline=timeline,
+        profile=obs_mod.ProfileRecorder() if profile else None,
+    )
     with obs_mod.activated(obs):
         result = run_point(task.spec, reps=task.reps, base_seed=task.base_seed)
     obs.finalize()
@@ -138,10 +144,11 @@ class ParallelExecutor:
         parent_obs = obs_mod.current()
         observe = parent_obs is not None
         timeline = parent_obs.timeline_config if parent_obs is not None else None
+        profile = parent_obs is not None and parent_obs.profile is not None
         results: List[PointResult] = []
         with ProcessPoolExecutor(max_workers=min(self.jobs, len(tasks))) as pool:
             futures: List["Future[Tuple[PointResult, Optional[Dict[str, Any]]]]"] = [
-                pool.submit(_run_task_observed, task, observe, timeline)
+                pool.submit(_run_task_observed, task, observe, timeline, profile)
                 for task in tasks
             ]
             for future in futures:

@@ -55,6 +55,14 @@ class LustreClient:
             )
             self._m_bytes_w = reg.counter("lustre.bytes.written", unit="B")
             self._m_bytes_r = reg.counter("lustre.bytes.read", unit="B")
+            self._m_lat_w = reg.latency_histogram(
+                "lustre.lat.write", unit="s",
+                description="per-op write latency (serial charge + stripe flow)",
+            )
+            self._m_lat_r = reg.latency_histogram(
+                "lustre.lat.read", unit="s",
+                description="per-op read latency (serial charge + stripe flow)",
+            )
 
     # -- plumbing -------------------------------------------------------------
     def _serial(self):
@@ -248,6 +256,7 @@ class LustreClient:
             raise InvalidArgumentError("write needs data or nbytes")
         if nbytes == 0:
             return
+        start = self.sim.now
         yield self._serial()
         per_ost: Dict[Ost, int] = {}
         pos = 0
@@ -267,6 +276,8 @@ class LustreClient:
             pos += length
         handle.inode.size = max(handle.inode.size, offset + nbytes)
         yield from self._data_flow("write", per_ost, "lustre-write")
+        if self._obs is not None:
+            self._m_lat_w.observe(self.sim.now - start)
 
     def read(self, handle: LustreFile, offset: int, nbytes: int) -> Generator:
         """Read; returns bytes (zeros for holes / non-materialised data)."""
@@ -274,6 +285,7 @@ class LustreClient:
             raise InvalidArgumentError("read on closed handle")
         if nbytes == 0:
             return b""
+        start = self.sim.now
         yield self._serial()
         out = bytearray(nbytes)
         per_ost: Dict[Ost, int] = {}
@@ -290,6 +302,8 @@ class LustreClient:
                     out[pos : pos + len(piece)] = piece
             pos += length
         yield from self._data_flow("read", per_ost, "lustre-read")
+        if self._obs is not None:
+            self._m_lat_r.observe(self.sim.now - start)
         return bytes(out)
 
     def unlink(self, path: str) -> Generator:

@@ -35,8 +35,22 @@ from repro.obs.critpath import (
     classify_constraint,
     render_critical_path,
 )
-from repro.obs.export import chrome_trace_events, export_chrome_trace, export_json
-from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.export import (
+    chrome_trace_events,
+    export_chrome_trace,
+    export_collapsed_stacks,
+    export_json,
+    export_profile_json,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    LatencyHistogram,
+    MetricsRegistry,
+)
+from repro.obs.profile import ProfileRecorder
+from repro.obs.report import render_hot_paths
 from repro.obs.span import TID_FLOWNET, TID_NODE_BASE, TID_SIM, Span, Tracer
 from repro.obs.timeline import (
     Timeline,
@@ -56,11 +70,16 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "LatencyHistogram",
+    "ProfileRecorder",
+    "render_hot_paths",
     "Span",
     "Tracer",
     "chrome_trace_events",
     "export_chrome_trace",
+    "export_collapsed_stacks",
     "export_json",
+    "export_profile_json",
     "Timeline",
     "TimelineConfig",
     "TimelineSampler",
@@ -95,9 +114,13 @@ class Observability:
         registry: Optional[MetricsRegistry] = None,
         tracer: Optional[Tracer] = None,
         timeline: Optional[TimelineConfig] = None,
+        profile: Optional[ProfileRecorder] = None,
     ):
         self.registry = registry or MetricsRegistry()
         self.tracer = tracer or Tracer()
+        #: when set, every bound cluster's simulator routes dispatches
+        #: through this recorder (simprof); dormant otherwise
+        self.profile = profile
         self.run_index = -1
         #: link name -> [busy integral, capacity * elapsed] across runs
         self.link_stats: Dict[str, List[float]] = {}
@@ -117,6 +140,8 @@ class Observability:
         sim = cluster.sim
         self.tracer.set_context(pid=self.run_index, clock=lambda: sim.now)
         sim.metrics = self.registry
+        if self.profile is not None:
+            sim.profile = self.profile
         self._hook_flownet(cluster.net)
         if self.timeline_config is not None:
             sampler = TimelineSampler(
@@ -217,6 +242,9 @@ class Observability:
             "link_stats": {k: list(v) for k, v in self.link_stats.items()},
             "timelines": [tl.to_json_obj() for tl in self.timelines],
             "runs": self.run_index + 1,
+            "profile": (
+                self.profile.dump_state() if self.profile is not None else None
+            ),
         }
 
     def absorb(self, payload: Dict[str, Any]) -> None:
@@ -243,6 +271,11 @@ class Observability:
             acc[1] += denom
         for obj in payload["timelines"]:
             self.timelines.append(Timeline.from_json_obj(obj, run_offset=pid_offset))
+        profile_state = payload.get("profile")
+        if profile_state is not None:
+            if self.profile is None:
+                self.profile = ProfileRecorder()
+            self.profile.merge_state(profile_state)
         self.run_index += int(payload["runs"])
 
     # -- lane helpers --------------------------------------------------------
@@ -272,6 +305,8 @@ class Observability:
         valid."""
         self.registry.reset()
         self.tracer.clear()
+        if self.profile is not None:
+            self.profile.reset()
         self.link_stats.clear()
         self.timelines.clear()
         self.run_index = -1

@@ -1,4 +1,5 @@
-"""Trace exporters: Chrome trace-event JSON and a plain JSON dump.
+"""Trace exporters: Chrome trace-event JSON, plain JSON dumps, and
+simprof flame-graph / profile exports.
 
 The Chrome format is the Trace Event Format consumed by
 ``chrome://tracing`` and https://ui.perfetto.dev: a ``traceEvents``
@@ -6,6 +7,14 @@ list of complete ("ph": "X") events with microsecond timestamps, plus
 metadata ("ph": "M") events naming processes and threads.  Simulated
 seconds map to trace microseconds, so one simulated second reads as
 1 s in the viewer.
+
+:func:`export_collapsed_stacks` writes the folded "stack value" lines
+flamegraph.pl and speedscope consume (``flamegraph.pl profile.folded >
+profile.svg``); :func:`export_profile_json` dumps a
+:class:`~repro.obs.profile.ProfileRecorder`'s full state plus derived
+hot-site summaries.  Both accept either a single recorder or a
+``{figure_id: recorder}`` dict, in which case each figure becomes its
+own root frame / document section.
 """
 
 from __future__ import annotations
@@ -14,9 +23,16 @@ import json
 from typing import IO, Dict, List, Optional, Sequence, Union
 
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.profile import ProfileRecorder
 from repro.obs.span import Span, Tracer
 
-__all__ = ["chrome_trace_events", "export_chrome_trace", "export_json"]
+__all__ = [
+    "chrome_trace_events",
+    "export_chrome_trace",
+    "export_collapsed_stacks",
+    "export_json",
+    "export_profile_json",
+]
 
 _US_PER_SIM_SECOND = 1e6
 
@@ -112,3 +128,63 @@ def export_json(
             json.dump(doc, fh, indent=1)
     else:
         json.dump(doc, out, indent=1)
+
+
+def _as_profile_dict(
+    profiles: Union[ProfileRecorder, Dict[str, ProfileRecorder]],
+) -> Dict[str, ProfileRecorder]:
+    if isinstance(profiles, ProfileRecorder):
+        return {"run": profiles}
+    return dict(profiles)
+
+
+def export_collapsed_stacks(
+    out: Union[str, IO],
+    profiles: Union[ProfileRecorder, Dict[str, ProfileRecorder]],
+    metric: str = "wall",
+) -> int:
+    """Write folded flame-graph lines; returns the line count.
+
+    Each line is ``frame;frame;... value`` with engine frames nested
+    under ``sim.run`` (see
+    :meth:`ProfileRecorder.collapsed_stacks`); with a dict of recorders
+    the figure id becomes the root frame, so one file holds every
+    profiled figure side by side.  ``metric="wall"`` weights by self
+    wall microseconds, ``metric="events"`` by deterministic counts.
+    """
+    lines: List[str] = []
+    named = _as_profile_dict(profiles)
+    for label in sorted(named):
+        prefix = f"{label};" if len(named) > 1 else ""
+        lines.extend(
+            f"{prefix}{line}" for line in named[label].collapsed_stacks(metric=metric)
+        )
+    text = "\n".join(lines) + ("\n" if lines else "")
+    if isinstance(out, str):
+        with open(out, "w") as fh:
+            fh.write(text)
+    else:
+        out.write(text)
+    return len(lines)
+
+
+def export_profile_json(
+    out: Union[str, IO],
+    profiles: Union[ProfileRecorder, Dict[str, ProfileRecorder]],
+) -> None:
+    """Dump one or more profile recorders as JSON: per-recorder
+    mergeable state (sites, recompute stats, peaks) plus the derived
+    hot-site table and events/second."""
+    doc = {
+        "schema": 1,
+        "profiles": {
+            label: rec.as_json_obj()
+            for label, rec in sorted(_as_profile_dict(profiles).items())
+        },
+    }
+    if isinstance(out, str):
+        with open(out, "w") as fh:
+            json.dump(doc, fh, indent=1, sort_keys=True)
+            fh.write("\n")
+    else:
+        json.dump(doc, out, indent=1, sort_keys=True)

@@ -16,7 +16,14 @@ from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.errors import ConfigError
 
-__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "DEFAULT_BUCKETS"]
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "LatencyHistogram",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+]
 
 
 #: default histogram bucket upper bounds (seconds-ish log scale)
@@ -165,6 +172,120 @@ class Histogram(Instrument):
         self.vmax = -math.inf
 
 
+class LatencyHistogram(Instrument):
+    """HDR-style streaming histogram with exact deterministic buckets.
+
+    Where :class:`Histogram` needs its bucket edges chosen up front,
+    this instrument covers the full positive float range with
+    log-spaced buckets computed from the value's binary representation:
+    ``math.frexp(v)`` splits ``v`` into mantissa/exponent, each
+    power-of-two octave is subdivided into ``substeps`` equal-width
+    sub-buckets, so every bucket's bounds are exact dyadic rationals —
+    identical on every platform and process, which is what makes the
+    cross-process :meth:`MetricsRegistry.merge_state` path exact.  With
+    the default 64 substeps the relative bucket width (hence the
+    worst-case quantile error) is under 1.6%.
+
+    :meth:`quantile` is rank-based (``rank = max(1, ceil(q * n))``) and
+    returns the winning bucket's *lower* edge: the largest
+    bucket-representable value known to be <= the true order statistic.
+    Values that sit exactly on a bucket edge (e.g. powers of two) are
+    therefore reported back exactly.  Storage is a sparse dict, so an
+    instrument that never observes stays at a handful of machine words.
+    """
+
+    __slots__ = ("substeps", "counts", "zeros", "total", "count", "vmin", "vmax")
+
+    kind = "latency_histogram"
+
+    def __init__(
+        self,
+        name: str,
+        unit: str = "s",
+        description: str = "",
+        substeps: int = 64,
+    ):
+        super().__init__(name, unit, description)
+        if substeps < 1:
+            raise ConfigError(
+                f"latency histogram {name!r} needs substeps >= 1, got {substeps}"
+            )
+        self.substeps = int(substeps)
+        #: sparse bucket index -> count (index = exponent * substeps + sub)
+        self.counts: Dict[int, int] = {}
+        self.zeros = 0
+        self.total = 0.0
+        self.count = 0
+        self.vmin = math.inf
+        self.vmax = -math.inf
+
+    def bucket_index(self, value: float) -> int:
+        """Deterministic bucket of a positive value: its binary octave
+        (frexp exponent) times ``substeps`` plus the linear sub-bucket
+        of the mantissa."""
+        m, e = math.frexp(value)  # value = m * 2**e with m in [0.5, 1)
+        sub = int((m - 0.5) * (2 * self.substeps))
+        if sub >= self.substeps:  # guard the m -> 1.0 rounding corner
+            sub = self.substeps - 1
+        return e * self.substeps + sub
+
+    def bucket_bounds(self, index: int) -> tuple:
+        """``[lo, hi)`` edges of a bucket — exact dyadic rationals."""
+        e, sub = divmod(index, self.substeps)
+        lo = math.ldexp(0.5 + sub / (2.0 * self.substeps), e)
+        hi = math.ldexp(0.5 + (sub + 1) / (2.0 * self.substeps), e)
+        return lo, hi
+
+    def observe(self, value: float) -> None:
+        if value < 0:
+            raise ConfigError(
+                f"latency histogram {self.name!r} cannot observe {value}"
+            )
+        if value == 0.0:  # exact: zero has no frexp octave; dedicated bucket
+            self.zeros += 1
+        else:
+            idx = self.bucket_index(value)
+            self.counts[idx] = self.counts.get(idx, 0) + 1
+        self.count += 1
+        self.total += value
+        self.vmin = min(self.vmin, value)
+        self.vmax = max(self.vmax, value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Rank-based q-quantile at bucket resolution (deterministic)."""
+        if not 0 <= q <= 1:
+            raise ConfigError(f"quantile must be in [0, 1]: {q}")
+        if self.count == 0:
+            return 0.0
+        rank = max(1, math.ceil(q * self.count))
+        if rank <= self.zeros:
+            return 0.0
+        seen = self.zeros
+        last = 0
+        for idx in sorted(self.counts):
+            seen += self.counts[idx]
+            last = idx
+            if seen >= rank:
+                return float(self.bucket_bounds(idx)[0])
+        return float(self.bucket_bounds(last)[0])  # pragma: no cover
+
+    def percentiles(self) -> tuple:
+        """The report triple: (p50, p99, p999)."""
+        return self.quantile(0.5), self.quantile(0.99), self.quantile(0.999)
+
+    def reset(self) -> None:
+        self.counts = {}
+        self.zeros = 0
+        self.total = 0.0
+        self.count = 0
+        self.vmin = math.inf
+        self.vmax = -math.inf
+
+
 class MetricsRegistry:
     """Get-or-create store of named instruments.
 
@@ -206,6 +327,17 @@ class MetricsRegistry:
     ) -> Histogram:
         return self._get_or_create(Histogram, name, unit, description, bounds=bounds)
 
+    def latency_histogram(
+        self,
+        name: str,
+        unit: str = "s",
+        description: str = "",
+        substeps: int = 64,
+    ) -> LatencyHistogram:
+        return self._get_or_create(
+            LatencyHistogram, name, unit, description, substeps=substeps
+        )
+
     def get(self, name: str) -> Optional[Instrument]:
         return self._instruments.get(name)
 
@@ -245,6 +377,15 @@ class MetricsRegistry:
             elif isinstance(inst, Gauge):
                 row["value"] = inst.value
                 row["peak"] = inst.peak
+            elif isinstance(inst, LatencyHistogram):
+                p50, p99, p999 = inst.percentiles()
+                row.update(
+                    count=inst.count, sum=inst.total, mean=inst.mean,
+                    p50=p50, p99=p99, p999=p999,
+                )
+                if inst.count:
+                    row["min"] = inst.vmin
+                    row["max"] = inst.vmax
             elif isinstance(inst, Histogram):
                 row.update(
                     count=inst.count,
@@ -277,6 +418,18 @@ class MetricsRegistry:
             elif isinstance(inst, Gauge):
                 row["value"] = inst.value
                 row["peak"] = inst.peak
+            elif isinstance(inst, LatencyHistogram):
+                row.update(
+                    substeps=inst.substeps,
+                    # sorted [index, count] pairs: deterministic and
+                    # JSON-safe (a dict would stringify the int keys)
+                    counts=[[i, inst.counts[i]] for i in sorted(inst.counts)],
+                    zeros=inst.zeros,
+                    total=inst.total,
+                    count=inst.count,
+                    vmin=inst.vmin,
+                    vmax=inst.vmax,
+                )
             elif isinstance(inst, Histogram):
                 row.update(
                     bounds=list(inst.bounds),
@@ -329,6 +482,28 @@ class MetricsRegistry:
                 hist.count += int(row["count"])
                 hist.vmin = min(hist.vmin, float(row["vmin"]))
                 hist.vmax = max(hist.vmax, float(row["vmax"]))
+            elif kind == "latency_histogram":
+                lat = self.latency_histogram(
+                    name,
+                    unit=str(row["unit"]),
+                    description=str(row["description"]),
+                    substeps=int(row["substeps"]),
+                )
+                if lat.substeps != int(row["substeps"]):
+                    raise ConfigError(
+                        f"latency histogram {name!r} substeps differ between "
+                        f"merged registries"
+                    )
+                # bucket indices are value-deterministic, so adding counts
+                # reproduces the serial histogram bit-for-bit
+                for idx, n in row["counts"]:
+                    idx = int(idx)
+                    lat.counts[idx] = lat.counts.get(idx, 0) + int(n)
+                lat.zeros += int(row["zeros"])
+                lat.total += float(row["total"])
+                lat.count += int(row["count"])
+                lat.vmin = min(lat.vmin, float(row["vmin"]))
+                lat.vmax = max(lat.vmax, float(row["vmax"]))
             else:
                 raise ConfigError(f"unknown instrument kind {kind!r} for {name!r}")
 
@@ -342,6 +517,12 @@ class MetricsRegistry:
                     value = f"{inst.value:,.0f}"
                 elif isinstance(inst, Gauge):
                     value = f"{inst.value:,.0f} (peak {inst.peak:,.0f})"
+                elif isinstance(inst, LatencyHistogram):
+                    p50, p99, p999 = inst.percentiles()
+                    value = (
+                        f"n={inst.count} p50={p50:.3g} "
+                        f"p99={p99:.3g} p999={p999:.3g}"
+                    )
                 else:
                     value = (
                         f"n={inst.count} mean={inst.mean:.3g} "

@@ -2,21 +2,27 @@
 
 Rendered by the harness under each figure when observability is on
 (``--metrics`` / ``--trace``): the heaviest spans by total simulated
-time, the hottest links by mean utilisation, and per-layer byte/op
-totals — the three views the paper's analysis sections walk through
-when explaining a bandwidth number.
+time, the hottest links by mean utilisation, per-layer byte/op totals,
+and per-op tail latencies — the views the paper's analysis sections
+walk through when explaining a bandwidth number.
+
+:func:`render_hot_paths` is the simprof companion (``--profile``): it
+summarises the *engine's* host cost — events per callback site,
+flow-network recompute shapes, queue depth — from a
+:class:`~repro.obs.profile.ProfileRecorder`.
 """
 
 from __future__ import annotations
 
 from typing import TYPE_CHECKING, List
 
-from repro.obs.metrics import Counter
+from repro.obs.metrics import Counter, LatencyHistogram
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.obs import Observability
+    from repro.obs.profile import ProfileRecorder
 
-__all__ = ["render_bottlenecks"]
+__all__ = ["render_bottlenecks", "render_hot_paths"]
 
 
 def _human(value: float, unit: str) -> str:
@@ -57,6 +63,59 @@ def render_bottlenecks(obs: "Observability", top: int = 8) -> str:
                 for c in counters
             )
             lines.append(f"    {layer:<10} {cells}")
+    latencies = [
+        inst for inst in obs.registry
+        if isinstance(inst, LatencyHistogram) and inst.count > 0
+    ]
+    if latencies:
+        lines.append("  per-op latency (simulated seconds):")
+        lines.append(
+            f"    {'op':<24}{'n':>10}{'p50':>11}{'p99':>11}{'p999':>11}"
+        )
+        for hist in sorted(latencies, key=lambda h: h.name):
+            p50, p99, p999 = hist.percentiles()
+            lines.append(
+                f"    {hist.name:<24}{hist.count:>10,}"
+                f"{p50:>11.3g}{p99:>11.3g}{p999:>11.3g}"
+            )
     if len(lines) == 1:
         lines.append("  (no instrumentation data collected)")
+    return "\n".join(lines)
+
+
+def render_hot_paths(profile: "ProfileRecorder", top: int = 10) -> str:
+    """ASCII summary of the engine's hot paths (simprof).
+
+    Event/recompute/queue counts are deterministic per seed; the wall
+    columns are host cost and vary run to run (the table is sorted by
+    wall, so row order may differ between hosts).
+    """
+    lines: List[str] = ["simprof engine hot paths:"]
+    lines.append(
+        f"  events dispatched: {profile.events_dispatched:,} across "
+        f"{profile.runs} run(s); peak event-queue depth "
+        f"{profile.queue_depth_peak:,}"
+    )
+    if profile.recomputes:
+        mean_flows = profile.recompute_flows / profile.recomputes
+        mean_links = profile.recompute_links_touched / profile.recomputes
+        lines.append(
+            f"  flownet recomputes: {profile.recomputes:,} "
+            f"({profile.recomputes_full:,} touched the full link set; "
+            f"mean {mean_flows:.1f} flows, {mean_links:.1f} of "
+            f"{profile.links_total_peak} links per recompute) "
+            f"in {profile.recompute_wall:.3f}s"
+        )
+    rows = profile.hot_sites(top)
+    if rows:
+        lines.append("  top callback sites (self wall seconds / events):")
+        for name, count, wall in rows:
+            lines.append(f"    {wall:10.4f}s  x{count:<10,} {name}")
+    wall = profile.engine_wall
+    if wall > 0:
+        lines.append(
+            f"  engine wall: dispatch {profile.dispatch_wall:.3f}s + "
+            f"recompute {profile.recompute_wall:.3f}s = {wall:.3f}s "
+            f"({profile.events_per_second():,.0f} events/s)"
+        )
     return "\n".join(lines)

@@ -349,6 +349,13 @@ class Simulator:
         #: the kernel writes counters into it but never reads it, so
         #: attaching one cannot change scheduling decisions.
         self.metrics: Optional[Any] = None
+        #: optional :class:`repro.obs.profile.ProfileRecorder`; like
+        #: ``metrics`` it is purely passive — when attached, the run
+        #: loop routes each dispatch through it so events are counted
+        #: per callback site and wall time is attributed, but the
+        #: recorder never feeds back into scheduling, so modelled
+        #: results are bit-identical with and without one.
+        self.profile: Optional[Any] = None
         #: optional callable ``probe(t_new)`` invoked whenever the clock
         #: is about to advance to ``t_new`` (strictly greater than
         #: ``now``), *before* the event at ``t_new`` executes.  Between
@@ -403,6 +410,7 @@ class Simulator:
         executed = 0
         heap_peak = len(heap)
         probe = self.time_probe
+        profile = self.profile
         while heap:
             if len(heap) > heap_peak:
                 heap_peak = len(heap)
@@ -421,10 +429,15 @@ class Simulator:
                 probe(handle.time)
             self.now = max(self.now, handle.time)
             executed += 1
-            handle.fn(*handle.args)
+            if profile is None:
+                handle.fn(*handle.args)
+            else:
+                profile.dispatch(handle.fn, handle.args)
         else:
             if until is not None:
                 self.now = max(self.now, until)
+        if profile is not None:
+            profile.note_run(heap_peak)
         if self.metrics is not None:
             self.metrics.counter(
                 "sim.events_executed", unit="events",

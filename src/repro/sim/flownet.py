@@ -287,9 +287,15 @@ class FlowNetwork:
     def _reallocate(self) -> None:
         """Weighted max-min progressive filling over all active flows."""
         self.reallocations += 1
+        # simprof hook: the recorder only counts and reads its own clock
+        # (inside obs/profile.py), never influences the allocation
+        profile = self.sim.profile
+        token = profile.recompute_begin() if profile is not None else 0.0
         flows = self._active
         nflows = len(flows)
         if nflows == 0:
+            if profile is not None:
+                profile.recompute_end(token, 0, 0, len(self._links), 0)
             return
         # Flatten incidence: one row per (flow, link) usage.
         flow_idx: list[int] = []
@@ -357,6 +363,10 @@ class FlowNetwork:
             flow.rate = float(r)
         if self.track_binding:
             self._assign_bindings(flows, rate, cap_left)
+        if profile is not None:
+            profile.recompute_end(
+                token, nflows, len(set(link_idx)), nlinks, len(flow_idx)
+            )
 
     def _assign_bindings(self, flows: list[Flow], rate, cap_left) -> None:
         """Record, per flow, the constraint that bounds its current rate:

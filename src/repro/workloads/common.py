@@ -119,6 +119,14 @@ class PhasedRunner:
                 description="benchmark operations completed (both phases)",
             )
             self._m_bytes = reg.counter("workload.bytes", unit="B")
+            self._m_lat = {
+                phase: reg.latency_histogram(
+                    f"workload.lat.{phase}", unit="s",
+                    description="per-op completion latency as the benchmark "
+                                "saw it (exact mode)",
+                )
+                for phase in ("write", "read")
+            }
 
     # -- per-benchmark hooks -------------------------------------------------
     def setup(self, rank):
@@ -187,6 +195,7 @@ class PhasedRunner:
                 if obs is not None:
                     self._m_ops.inc()
                     self._m_bytes.inc(cfg.op_size)
+                    self._m_lat[phase].observe(self.sim.now - t0)
             t0 = self.sim.now
             yield from self.end_phase(state, phase)
             if self.sim.now > t0:

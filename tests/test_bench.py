@@ -40,6 +40,10 @@ def test_collect_bench_hw_figure():
     assert rec["wall_seconds"] > 0
     assert rec["events"] > 0
     assert rec["events_per_second"] > 0
+    # schema-3 engine fields ride along via simprof
+    assert rec["recomputes"] > 0
+    assert rec["recomputes_per_second"] > 0
+    assert rec["peak_queue_depth"] > 0
     assert rec["checks_total"] >= 1
     assert rec["series"], "expected at least one recorded series"
     for series in rec["series"].values():
@@ -114,6 +118,59 @@ def test_modelled_drift_fails_at_any_magnitude(tmp_path, bench_doc):
     code, out = run_compare(a, b)
     assert code == 1
     assert "modelled drift" in out
+
+
+def test_engine_counter_drift_fails(tmp_path, bench_doc):
+    drifted = copy.deepcopy(bench_doc)
+    rec = next(iter(drifted["figures"].values()))
+    rec["recomputes"] += 1
+    a = tmp_path / "a.json"
+    b = tmp_path / "b.json"
+    write_bench(bench_doc, str(a))
+    write_bench(drifted, str(b))
+    code, out = run_compare(a, b)
+    assert code == 1
+    assert "modelled counter 'recomputes'" in out
+
+
+def test_engine_rate_slowdown_fails_but_speedup_passes(tmp_path, bench_doc):
+    slow = copy.deepcopy(bench_doc)
+    for rec in slow["figures"].values():
+        rec["events_per_second"] *= 0.5
+    a = tmp_path / "a.json"
+    b = tmp_path / "b.json"
+    write_bench(bench_doc, str(a))
+    write_bench(slow, str(b))
+    code, out = run_compare(a, b)
+    assert code == 1
+    assert "events_per_second regression" in out
+    # the mirror-image speedup is only informational
+    code, out = run_compare(b, a)
+    assert code == 0, out
+
+
+def test_schema_2_baseline_still_comparable(tmp_path, bench_doc):
+    old = copy.deepcopy(bench_doc)
+    old["schema"] = 2
+    for rec in old["figures"].values():
+        for key in ("recomputes", "recomputes_per_second", "peak_queue_depth"):
+            rec.pop(key)
+    a = tmp_path / "a.json"
+    b = tmp_path / "b.json"
+    write_bench(old, str(a))
+    write_bench(bench_doc, str(b))
+    code, out = run_compare(a, b)
+    assert code == 0, out
+
+
+def test_missing_baseline_prints_seeding_hint(tmp_path, bench_doc):
+    b = tmp_path / "b.json"
+    write_bench(bench_doc, str(b))
+    code, out = run_compare(tmp_path / "missing_baseline.json", b)
+    assert code == 2
+    assert "no baseline found" in out
+    assert "repro.harness.bench" in out
+    assert "benchmarks/" in out
 
 
 def test_missing_figure_fails(tmp_path, bench_doc):

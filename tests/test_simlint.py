@@ -96,6 +96,28 @@ def test_sl001_executor_allowed_other_harness_files_not(lint):
     assert findings[0].path.endswith("harness/scheduler.py")
 
 
+def test_sl001_obs_profile_allowed_rest_of_obs_not(lint):
+    # simprof concentrates every engine-profiling clock read in
+    # obs/profile.py, which is allowlisted; any other obs/ module
+    # reading the host clock still trips SL001
+    findings = lint({
+        "obs/profile.py": """
+            import time
+
+            def dispatch_begin():
+                return time.perf_counter()
+        """,
+        "obs/metrics.py": """
+            import time
+
+            def observe_now():
+                return time.perf_counter()
+        """,
+    })
+    assert codes(findings) == ["SL001"]
+    assert findings[0].path.endswith("obs/metrics.py")
+
+
 # ---------------------------------------------------------------- SL002
 
 

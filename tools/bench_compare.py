@@ -12,8 +12,14 @@ Exit status:
 - ``1`` — at least one regression: a figure's wall-clock grew more than
   ``--wall-tolerance`` (default 10%), any modelled series mean drifted
   (these are deterministic — *any* drift is a semantic model change),
-  a shape check flipped to failing, or a figure/series disappeared;
-- ``2`` — the files could not be read or have incompatible schemas.
+  a deterministic engine counter changed (``events``, ``recomputes``,
+  ``peak_queue_depth`` — schema 3; a kernel optimisation that changes
+  them intentionally regenerates the baseline, like a model change), a
+  derived rate (``events_per_second``, ``recomputes_per_second``)
+  slowed beyond the wall tolerance, a shape check flipped to failing,
+  or a figure/series disappeared;
+- ``2`` — the files could not be read or have incompatible schemas
+  (including a missing baseline — the error suggests how to seed one).
 
 Wall-clock noise cuts both ways: speedups and small slowdowns are
 reported as info, only slowdowns beyond the tolerance fail.
@@ -23,6 +29,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import Dict, List
 
@@ -37,9 +44,10 @@ def load(path: str) -> Dict:
         doc = json.load(fh)
     if not isinstance(doc, dict) or "schema" not in doc or "figures" not in doc:
         raise ValueError(f"{path}: not a BENCH document")
-    # schema 2 added executor/cache accounting; the fields compared
-    # here (wall clock, series, checks) are identical in both layouts
-    if doc["schema"] not in (1, 2):
+    # schema 2 added executor/cache accounting, schema 3 the simprof
+    # engine fields; every field is compared only when both documents
+    # carry it, so any mix of 1..3 is comparable
+    if doc["schema"] not in (1, 2, 3):
         raise ValueError(f"{path}: unsupported BENCH schema {doc['schema']!r}")
     return doc
 
@@ -82,6 +90,33 @@ def compare(old: Dict, new: Dict, wall_tolerance: float) -> tuple:
             elif abs(rel) > 0.02:
                 word = "slower" if rel > 0 else "faster"
                 infos.append(f"{fig_id}: wall-clock {abs(rel):.0%} {word} ({ow:.2f}s -> {nw:.2f}s)")
+        # engine counters (schema 3): deterministic per seed, so any
+        # change is a semantic model/kernel change — compared exactly,
+        # but only when both documents carry the field
+        for counter in ("events", "recomputes", "peak_queue_depth"):
+            if counter in o and counter in n and o[counter] != n[counter]:
+                regressions.append(
+                    f"{fig_id}: modelled counter {counter!r} changed: "
+                    f"{o[counter]} -> {n[counter]} (deterministic per seed; "
+                    f"regenerate the baseline if this is intentional)"
+                )
+        # derived rates: wall-clock in the denominator, so noisy — only
+        # slowdowns beyond the tolerance fail
+        for rate in ("events_per_second", "recomputes_per_second"):
+            if rate not in o or rate not in n or o[rate] <= 0:
+                continue
+            rel = (o[rate] - n[rate]) / o[rate]
+            if rel > wall_tolerance:
+                regressions.append(
+                    f"{fig_id}: {rate} regression {o[rate]:.0f} -> {n[rate]:.0f} "
+                    f"(-{rel:.0%}, tolerance {wall_tolerance:.0%})"
+                )
+            elif abs(rel) > 0.02:
+                word = "slower" if rel > 0 else "faster"
+                infos.append(
+                    f"{fig_id}: {rate} {abs(rel):.0%} {word} "
+                    f"({o[rate]:.0f} -> {n[rate]:.0f})"
+                )
         # modelled results: any drift is a regression
         for name, os_ in sorted(o["series"].items()):
             ns = n["series"].get(name)
@@ -122,6 +157,15 @@ def main(argv=None) -> int:
         help="allowed fractional wall-clock growth per figure (default 0.10)",
     )
     args = parser.parse_args(argv)
+    if not os.path.exists(args.old):
+        print(f"error: no baseline found at {args.old}", file=sys.stderr)
+        print(
+            "hint: generate one with 'PYTHONPATH=src python -m "
+            "repro.harness.bench --out benchmarks/BENCH_<sha>.json' and "
+            "commit it under benchmarks/",
+            file=sys.stderr,
+        )
+        return 2
     try:
         old = load(args.old)
         new = load(args.new)

@@ -12,6 +12,7 @@ from repro.ceph.params import CephParams
 from repro.ceph.placement import PgMap
 from repro.errors import InvalidArgumentError, NotFoundError
 from repro.hardware.cluster import ClientNode
+from repro.obs.ledger import NULL_CONTEXT, NULL_LEDGER
 from repro.sim.flownet import Link
 
 __all__ = ["CephPool", "RadosClient"]
@@ -89,9 +90,13 @@ class RadosClient:
         self._op_rng = ceph.cluster.rng.stream(f"rados.{node.name}.op-jitter")
         self.op_jitter_sigma = 0.1
         self.connected = False
-        # Observability (dormant when the cluster carries none).
+        # Observability (dormant when the cluster carries none); the op
+        # ledger is a null object unless one is active.
+        self._ledger = NULL_LEDGER
         self._obs = ceph.cluster.obs
         if self._obs is not None:
+            if self._obs.ledger is not None:
+                self._ledger = self._obs.ledger
             reg = self._obs.registry
             self._tid = self._obs.node_tid(node)
             self._m_mon = reg.counter(
@@ -153,10 +158,11 @@ class RadosClient:
         ops_per_osd: float = 1.0,
         ops_by_osd: Optional[Dict[Osd, float]] = None,
         demand_cap: float = float("inf"),
+        op_ctx=NULL_CONTEXT,
     ) -> Generator:
         if self._obs is None:
             yield from self._data_flow_raw(
-                kind, per_osd, name, ops_per_osd, ops_by_osd, demand_cap
+                kind, per_osd, name, ops_per_osd, ops_by_osd, demand_cap, op_ctx
             )
             return
         nbytes = float(sum(per_osd.values()))
@@ -171,7 +177,7 @@ class RadosClient:
             f"ceph.{op}", cat="ceph", tid=self._tid, args={"bytes": nbytes}
         ):
             yield from self._data_flow_raw(
-                kind, per_osd, name, ops_per_osd, ops_by_osd, demand_cap
+                kind, per_osd, name, ops_per_osd, ops_by_osd, demand_cap, op_ctx
             )
 
     def _data_flow_raw(
@@ -182,6 +188,7 @@ class RadosClient:
         ops_per_osd: float = 1.0,
         ops_by_osd: Optional[Dict[Osd, float]] = None,
         demand_cap: float = float("inf"),
+        op_ctx=NULL_CONTEXT,
     ) -> Generator:
         total = float(sum(per_osd.values()))
         if total <= 0:
@@ -221,6 +228,7 @@ class RadosClient:
         usages = [(link, load / total) for link, load in loads.items()]
         flow = self.net.transfer(total, usages, demand_cap=demand_cap, name=name)
         yield flow.done
+        op_ctx.note_transfer(flow)
 
     # -- cluster / pool management ------------------------------------------------
     def connect(self) -> Generator:
@@ -278,29 +286,32 @@ class RadosClient:
         if offset < 0:
             raise InvalidArgumentError(f"negative offset: {offset}")
         self._check_write_bounds(pool, obj, offset + nbytes)
-        start = self.sim.now
-        yield self._serial()
-        if pool.is_ec:
-            yield from self._ec_write(pool, obj, offset, data, nbytes)
+        with self._ledger.op("ceph.lat.write", self.sim) as opx:
+            start = self.sim.now
+            yield self._serial()
+            opx.note("serial")
+            if pool.is_ec:
+                yield from self._ec_write(pool, obj, offset, data, nbytes, op_ctx=opx)
+                if self._obs is not None:
+                    self._m_lat_w.observe(self.sim.now - start)
+                return
+            acting = pool.acting_set(obj)
+            per_osd: Dict[Osd, int] = {osd: nbytes for osd in acting}
+            for osd in acting:
+                record = osd.obj((pool.name, obj))
+                if pool.materialize and data is not None:
+                    buf = record["data"]
+                    if len(buf) < offset + nbytes:
+                        buf.extend(b"\0" * (offset + nbytes - len(buf)))
+                    buf[offset : offset + nbytes] = data
+                record["size"] = max(record["size"], offset + nbytes)
+            pool.object_sizes[obj] = max(pool.object_sizes.get(obj, 0), offset + nbytes)
+            yield from self._data_flow("write", per_osd, "rados-write", op_ctx=opx)
             if self._obs is not None:
                 self._m_lat_w.observe(self.sim.now - start)
-            return
-        acting = pool.acting_set(obj)
-        per_osd: Dict[Osd, int] = {osd: nbytes for osd in acting}
-        for osd in acting:
-            record = osd.obj((pool.name, obj))
-            if pool.materialize and data is not None:
-                buf = record["data"]
-                if len(buf) < offset + nbytes:
-                    buf.extend(b"\0" * (offset + nbytes - len(buf)))
-                buf[offset : offset + nbytes] = data
-            record["size"] = max(record["size"], offset + nbytes)
-        pool.object_sizes[obj] = max(pool.object_sizes.get(obj, 0), offset + nbytes)
-        yield from self._data_flow("write", per_osd, "rados-write")
-        if self._obs is not None:
-            self._m_lat_w.observe(self.sim.now - start)
 
-    def _ec_write(self, pool: CephPool, obj: str, offset: int, data, nbytes: int) -> Generator:
+    def _ec_write(self, pool: CephPool, obj: str, offset: int, data, nbytes: int,
+                  op_ctx=NULL_CONTEXT) -> Generator:
         """EC pools accept only full-object writes (real librados rejects
         arbitrary overwrites on erasure-coded pools)."""
         if offset != 0:
@@ -324,7 +335,7 @@ class RadosClient:
             record["data"] = bytearray(piece)
             record["size"] = chunk
         pool.object_sizes[obj] = nbytes
-        yield from self._data_flow("write", per_osd, "rados-ec-write")
+        yield from self._data_flow("write", per_osd, "rados-ec-write", op_ctx=op_ctx)
 
     def write_full(self, pool: CephPool, obj: str, data: bytes) -> Generator:
         yield from self.write(pool, obj, 0, data=data)
@@ -333,30 +344,37 @@ class RadosClient:
         """Read from the primary OSD; returns bytes (zeros when the pool
         is non-materialising)."""
         self._require_connected()
-        start = self.sim.now
-        yield self._serial()
-        if obj not in pool.object_sizes:
-            raise NotFoundError(f"object {obj!r} not found in pool {pool.name!r}")
-        size = pool.object_sizes[obj]
-        readable = max(0, min(nbytes, size - offset))
-        if readable == 0:
-            return b""
-        if pool.is_ec:
-            data = yield from self._ec_read(pool, obj, offset, readable)
+        with self._ledger.op("ceph.lat.read", self.sim) as opx:
+            start = self.sim.now
+            yield self._serial()
+            opx.note("serial")
+            if obj not in pool.object_sizes:
+                raise NotFoundError(f"object {obj!r} not found in pool {pool.name!r}")
+            size = pool.object_sizes[obj]
+            readable = max(0, min(nbytes, size - offset))
+            if readable == 0:
+                # the latency histogram skips this path too: drop the
+                # context so ledger and registry counts stay equal
+                opx.discard()
+                return b""
+            if pool.is_ec:
+                data = yield from self._ec_read(pool, obj, offset, readable, op_ctx=opx)
+                if self._obs is not None:
+                    self._m_lat_r.observe(self.sim.now - start)
+                return data
+            primary = pool.pgmap.primary(obj)
+            yield from self._data_flow("read", {primary: readable}, "rados-read",
+                                       op_ctx=opx)
             if self._obs is not None:
                 self._m_lat_r.observe(self.sim.now - start)
-            return data
-        primary = pool.pgmap.primary(obj)
-        yield from self._data_flow("read", {primary: readable}, "rados-read")
-        if self._obs is not None:
-            self._m_lat_r.observe(self.sim.now - start)
-        record = primary.objects.get((pool.name, obj))
-        if pool.materialize and record is not None:
-            piece = bytes(record["data"][offset : offset + readable])
-            return piece.ljust(readable, b"\0")
-        return b"\0" * readable
+            record = primary.objects.get((pool.name, obj))
+            if pool.materialize and record is not None:
+                piece = bytes(record["data"][offset : offset + readable])
+                return piece.ljust(readable, b"\0")
+            return b"\0" * readable
 
-    def _ec_read(self, pool: CephPool, obj: str, offset: int, readable: int) -> Generator:
+    def _ec_read(self, pool: CephPool, obj: str, offset: int, readable: int,
+                 op_ctx=NULL_CONTEXT) -> Generator:
         """Gather k chunks (reconstructing through coding chunks if OSDs
         are down) and reassemble the requested range."""
         from repro.daos import erasure
@@ -375,7 +393,11 @@ class RadosClient:
         if serving is None:
             raise DataLossError(f"EC object {obj!r}: too many chunks unavailable")
         per_osd = {available[i]: chunk for i in serving}
-        yield from self._data_flow("read", per_osd, "rados-ec-read")
+        if not all(i < k for i in serving):
+            # coding chunks stand in for lost data chunks: the gather
+            # flow ahead is parity reconstruction, not a plain read
+            op_ctx.mark_degraded()
+        yield from self._data_flow("read", per_osd, "rados-ec-read", op_ctx=op_ctx)
         if not pool.materialize:
             return b"\0" * readable
         cells = {

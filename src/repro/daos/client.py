@@ -32,8 +32,14 @@ from repro.daos.objclass import ObjectClass
 from repro.daos.params import DaosParams
 from repro.daos.pool import Engine, Pool, Target
 from repro.errors import InvalidArgumentError, UnavailableError
-from repro.faults.retry import RetryPolicy
+from repro.faults.retry import (
+    BACKOFF_COMPONENT,
+    FAILED_COMPONENT,
+    TIMEOUT_COMPONENT,
+    RetryPolicy,
+)
 from repro.hardware.cluster import ClientNode, Cluster
+from repro.obs.ledger import NULL_CONTEXT, NULL_LEDGER
 from repro.sim.core import Interrupt
 from repro.sim.flownet import Link
 from repro.units import MiB
@@ -75,9 +81,14 @@ class DaosClient:
         self._op_rng = cluster.rng.stream(f"{self.name}.op-jitter")
         self.op_jitter_sigma = 0.1
         # Observability (dormant unless the cluster carries one): cached
-        # instrument references so the hot path is one None-check.
+        # instrument references so the hot path is one None-check.  The
+        # op ledger stays a null object unless one is active, so every
+        # decomposition site is an unconditional no-op call.
+        self._ledger = NULL_LEDGER
         self._obs = cluster.obs
         if self._obs is not None:
+            if self._obs.ledger is not None:
+                self._ledger = self._obs.ledger
             reg = self._obs.registry
             self._tid = self._obs.node_tid(node)
             self._m_rpc = reg.counter(
@@ -123,8 +134,8 @@ class DaosClient:
         return self._retry_rng
 
     def _with_retry(self, make_op, name: str) -> Generator:
-        """Run ``make_op()`` (a coroutine factory) under the client's
-        :class:`~repro.faults.retry.RetryPolicy`.
+        """Run ``make_op(op_ctx)`` (a coroutine factory) under the
+        client's :class:`~repro.faults.retry.RetryPolicy`.
 
         ``UnavailableError`` — a down target, a write below quorum, or a
         per-op timeout — is retried with exponential backoff up to
@@ -135,41 +146,57 @@ class DaosClient:
         immediately.  With ``op_timeout`` unset the op runs inline:
         fault-free runs see the exact same event sequence as without
         the retry layer.
+
+        The whole retry loop runs inside one op-ledger context, so a
+        retried op's decomposition carries its ``backoff``/``timeout``/
+        ``failed`` overhead next to the transfer components of the
+        winning attempt; the context closes at the same instant the
+        latency histogram observes, making the component sum equal the
+        recorded latency exactly.
         """
         policy = self.retry
         # per-op tail latency: measured start-to-success in simulated
         # time (retries and backoff included), so p999 reflects what a
         # caller actually waited for the op
         hist = self._m_lat.get(name) if self._obs is not None else None
-        start = self.sim.now
-        attempt = 1
-        while True:
-            try:
-                if policy.op_timeout is None:
-                    value = yield from make_op()
-                else:
-                    proc = self.sim.process(make_op(), name=f"{self.name}.{name}")
-                    index, got = yield self.sim.any_of(
-                        [proc, self.sim.timeout(policy.op_timeout)]
-                    )
-                    if index != 0:
-                        proc.interrupt("op-timeout")
-                        raise UnavailableError(
-                            f"{self.name}: {name} timed out after "
-                            f"{policy.op_timeout} s"
+        with self._ledger.op(f"daos.lat.{name}", self.sim) as opx:
+            start = self.sim.now
+            attempt = 1
+            while True:
+                try:
+                    if policy.op_timeout is None:
+                        value = yield from make_op(opx)
+                    else:
+                        proc = self.sim.process(
+                            make_op(opx), name=f"{self.name}.{name}"
                         )
-                    value = got
-                if hist is not None:
-                    hist.observe(self.sim.now - start)
-                return value
-            except UnavailableError:
-                if attempt >= policy.max_attempts:
-                    raise
-                self.retries += 1
-                if self._obs is not None:
-                    self._m_retried.inc()
-                yield self.sim.timeout(policy.delay(attempt, self._backoff_rng()))
-                attempt += 1
+                        index, got = yield self.sim.any_of(
+                            [proc, self.sim.timeout(policy.op_timeout)]
+                        )
+                        if index != 0:
+                            proc.interrupt("op-timeout")
+                            # whatever the attempt was doing since its
+                            # last note is time lost to the timeout race
+                            opx.note(TIMEOUT_COMPONENT)
+                            raise UnavailableError(
+                                f"{self.name}: {name} timed out after "
+                                f"{policy.op_timeout} s"
+                            )
+                        value = got
+                    if hist is not None:
+                        hist.observe(self.sim.now - start)
+                    return value
+                except UnavailableError:
+                    opx.note(FAILED_COMPONENT)
+                    if attempt >= policy.max_attempts:
+                        raise
+                    self.retries += 1
+                    opx.flag("retried")
+                    if self._obs is not None:
+                        self._m_retried.inc()
+                    yield self.sim.timeout(policy.delay(attempt, self._backoff_rng()))
+                    opx.note(BACKOFF_COMPONENT)
+                    attempt += 1
 
     def _link_loads_for_data(
         self,
@@ -236,6 +263,7 @@ class DaosClient:
         units: float,
         loads: Dict[Link, float],
         demand_cap: float = float("inf"),
+        op_ctx=NULL_CONTEXT,
     ) -> Generator:
         """Run one flow of ``units`` with the given absolute link loads."""
         if units <= 0:
@@ -250,6 +278,7 @@ class DaosClient:
             # op timed out (retry path): release the flow's link shares
             self.net.cancel(flow)
             raise
+        op_ctx.note_transfer(flow)
 
     def bulk_transfer(
         self,
@@ -261,6 +290,7 @@ class DaosClient:
         extra_loads: Optional[Dict[Link, float]] = None,
         demand_cap: float = float("inf"),
         name: str = "bulk",
+        op_ctx=NULL_CONTEXT,
     ) -> Generator:
         """One aggregated flow for a batch of operations (no serial charge).
 
@@ -289,7 +319,10 @@ class DaosClient:
         if units <= 0:
             units = max(total_md, 1.0)
         if self._obs is None:
-            yield from self._transfer(f"{self.name}.{name}", units, loads, demand_cap=demand_cap)
+            yield from self._transfer(
+                f"{self.name}.{name}", units, loads, demand_cap=demand_cap,
+                op_ctx=op_ctx,
+            )
             return
         if nbytes > 0:
             (self._m_bytes_w if kind == "write" else self._m_bytes_r).inc(nbytes)
@@ -299,7 +332,10 @@ class DaosClient:
             f"daos.{name}", cat="daos", tid=self._tid,
             args={"bytes": nbytes, "md_ops": total_md},
         ):
-            yield from self._transfer(f"{self.name}.{name}", units, loads, demand_cap=demand_cap)
+            yield from self._transfer(
+                f"{self.name}.{name}", units, loads, demand_cap=demand_cap,
+                op_ctx=op_ctx,
+            )
 
     def _md_flow(self, ops_by_engine: Dict[Engine, float], rsvc_ops: float = 0.0, name: str = "md") -> Generator:
         yield from self.bulk_transfer("write", {}, ops_by_engine, rsvc_ops, name=name)
@@ -406,11 +442,13 @@ class DaosClient:
         group retries against the post-rebuild pool map.
         """
 
-        def op() -> Generator:
+        def op(opx) -> Generator:
             yield self._serial()
+            opx.note("serial")
             charges = arr.write(offset, data=data, nbytes=nbytes)
             yield from self.bulk_transfer(
-                "write", charges, self._request_ops(charges), name="arr-write"
+                "write", charges, self._request_ops(charges), name="arr-write",
+                op_ctx=opx,
             )
 
         return (yield from self._with_retry(op, "arr-write"))
@@ -423,16 +461,21 @@ class DaosClient:
         ``ops.failed_over``); the retry policy covers timeouts and
         transient unavailability."""
 
-        def op() -> Generator:
+        def op(opx) -> Generator:
             yield self._serial()
+            opx.note("serial")
             before = arr.failovers
             data, charges = arr.read(offset, nbytes)
             if arr.failovers > before:
                 self.failed_over += 1
                 if self._obs is not None:
                     self._m_failed_over.inc()
+                # the transfer ahead moves surviving-replica / parity
+                # data: classify it as reconstruction, not plain xfer
+                opx.mark_degraded()
             yield from self.bulk_transfer(
-                "read", charges, self._request_ops(charges), name="arr-read"
+                "read", charges, self._request_ops(charges), name="arr-read",
+                op_ctx=opx,
             )
             return data
 
@@ -464,12 +507,13 @@ class DaosClient:
         KV data lives in engine DRAM (the paper's deployments store
         metadata in DRAM), so no SSD channel is charged."""
 
-        def op() -> Generator:
+        def op(opx) -> Generator:
             yield self._serial()
+            opx.note("serial")
             charges = kv.put(key, value)
             yield from self.bulk_transfer(
                 "write", charges, self._kv_md_ops(charges), touch_ssd=False,
-                name="kv-put",
+                name="kv-put", op_ctx=opx,
             )
 
         return (yield from self._with_retry(op, "kv-put"))
@@ -477,13 +521,14 @@ class DaosClient:
     def kv_get(self, kv: DaosKV, key: str) -> Generator:
         """Timed KV get; returns the value bytes."""
 
-        def op() -> Generator:
+        def op(opx) -> Generator:
             yield self._serial()
+            opx.note("serial")
             value, target = kv.get(key)
             charges = {target: len(value)}
             yield from self.bulk_transfer(
                 "read", charges, {target.engine: 1.0}, touch_ssd=False,
-                name="kv-get",
+                name="kv-get", op_ctx=opx,
             )
             return value
 

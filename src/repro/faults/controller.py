@@ -22,6 +22,7 @@ from typing import Dict, List, Optional, Union
 from repro.daos.rebuild import RebuildReport, run_rebuild
 from repro.errors import ConfigError
 from repro.faults.plan import PARTITION_FACTOR, FaultEvent, FaultPlan, parse_fault_plan
+from repro.obs.ledger import NULL_LEDGER
 from repro.sim.primitives import Gate
 
 __all__ = ["FaultController"]
@@ -48,8 +49,11 @@ class FaultController:
         # the workload layer reaches the controller through the cluster
         self.cluster.fault_controller = self
         # Observability (dormant when the cluster carries none).
+        self._ledger = NULL_LEDGER
         self._obs = env.cluster.obs
         if self._obs is not None:
+            if self._obs.ledger is not None:
+                self._ledger = self._obs.ledger
             reg = self._obs.registry
             self._m_injected = reg.counter(
                 "faults.injected", unit="faults",
@@ -233,11 +237,13 @@ class FaultController:
         self._rebuilds_running += 1
         if self._obs is not None:
             self._g_rebuild.set(self._rebuilds_running)
+        self._ledger.rebuild_begin(self.sim.now)
         try:
             for target in targets:
                 report = yield from run_rebuild(pool, target, bandwidth_share=share)
                 self.reports.append(report)
         finally:
+            self._ledger.rebuild_end(self.sim.now)
             self._rebuilds_running -= 1
             if self._obs is not None:
                 self._g_rebuild.set(self._rebuilds_running)

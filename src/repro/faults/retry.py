@@ -4,6 +4,14 @@ Backoff jitter draws from a named :class:`~repro.sim.randomness.RngStreams`
 stream owned by the retrying client, so retry timing is deterministic
 per seed and independent across clients — the same de-correlation real
 jittered backoff buys, without wall-clock randomness.
+
+The retry machinery owns three op-ledger component names (see
+:mod:`repro.obs.ledger`): clients charge every backoff sleep to
+:data:`BACKOFF_COMPONENT` — so a retried op's backoff component equals
+the sum of its seeded :meth:`RetryPolicy.delay` draws exactly — the
+remainder of an attempt window lost to the op-timeout race to
+:data:`TIMEOUT_COMPONENT`, and the tail of a failed attempt to
+:data:`FAILED_COMPONENT`.
 """
 
 from __future__ import annotations
@@ -15,7 +23,19 @@ import numpy as np
 
 from repro.errors import ConfigError
 
-__all__ = ["RetryPolicy"]
+__all__ = [
+    "BACKOFF_COMPONENT",
+    "FAILED_COMPONENT",
+    "RetryPolicy",
+    "TIMEOUT_COMPONENT",
+]
+
+#: ledger component: seeded exponential-backoff sleeps between attempts
+BACKOFF_COMPONENT = "backoff"
+#: ledger component: attempt time lost to the op-timeout race
+TIMEOUT_COMPONENT = "timeout"
+#: ledger component: tail of a failed (non-timeout) attempt
+FAILED_COMPONENT = "failed"
 
 
 @dataclass(frozen=True)

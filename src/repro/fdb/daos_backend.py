@@ -30,6 +30,7 @@ from repro.daos.container import Container
 from repro.errors import InvalidArgumentError, NotFoundError
 from repro.fdb.fdb import FdbBackend
 from repro.fdb.schema import FdbKey
+from repro.obs.ledger import NULL_LEDGER
 from repro.units import MiB
 
 __all__ = ["FdbDaosBackend"]
@@ -70,6 +71,7 @@ class FdbDaosBackend(FdbBackend):
         self.chunk_size = chunk_size
         self.materialize = materialize
         self.container: Optional[Container] = None
+        self._ledger = getattr(client, "_ledger", NULL_LEDGER)
         self.root_kv = None
         self.catalogue_kv = None
         self.index_kv = None
@@ -115,54 +117,63 @@ class FdbDaosBackend(FdbBackend):
     def archive(self, key: FdbKey, data: Optional[bytes], nbytes: Optional[int]) -> Generator:
         self._require_open()
         size = len(data) if data is not None else int(nbytes)
-        arr = yield from self.client.create_array(
-            self.container, oc=self.array_class, chunk_size=self.chunk_size
-        )
-        if data is None and self.container.materialize:
-            data = b"\0" * size  # synthetic payload for size-only archives
-        yield from self.client.array_write(arr, 0, data=data, nbytes=size)
-        canonical = key.canonical()
-        locator = _LOCATOR.pack(arr.oid.hi, arr.oid.lo, size)
-        for i in range(self.ROOT_PUTS):
-            yield from self.client.kv_put(
-                self.root_kv, f"{key.index_group()}#{i}", f"idx:{self.proc_id}".encode()
+        with self._ledger.op("fdb.archive", self.client.sim) as opx:
+            arr = yield from self.client.create_array(
+                self.container, oc=self.array_class, chunk_size=self.chunk_size
             )
-        for i in range(self.CATALOGUE_PUTS):
-            yield from self.client.kv_put(
-                self.catalogue_kv, f"{canonical}#{i}", f"idx:{self.proc_id}".encode()
-            )
-        yield from self.client.kv_put(self.index_kv, canonical, locator)
-        for i in range(1, self.INDEX_PUTS):
-            yield from self.client.kv_put(
-                self.index_kv, f"{canonical}~aux{i}", locator[:8]
-            )
-        self._local[canonical] = (arr, size)
+            opx.note("arr-create")
+            if data is None and self.container.materialize:
+                data = b"\0" * size  # synthetic payload for size-only archives
+            yield from self.client.array_write(arr, 0, data=data, nbytes=size)
+            opx.note("arr-write")
+            canonical = key.canonical()
+            locator = _LOCATOR.pack(arr.oid.hi, arr.oid.lo, size)
+            for i in range(self.ROOT_PUTS):
+                yield from self.client.kv_put(
+                    self.root_kv, f"{key.index_group()}#{i}", f"idx:{self.proc_id}".encode()
+                )
+            for i in range(self.CATALOGUE_PUTS):
+                yield from self.client.kv_put(
+                    self.catalogue_kv, f"{canonical}#{i}", f"idx:{self.proc_id}".encode()
+                )
+            yield from self.client.kv_put(self.index_kv, canonical, locator)
+            for i in range(1, self.INDEX_PUTS):
+                yield from self.client.kv_put(
+                    self.index_kv, f"{canonical}~aux{i}", locator[:8]
+                )
+            opx.note("kv-put")
+            self._local[canonical] = (arr, size)
 
     def flush(self) -> Generator:
         """FDB's transactional flush: one catalogue commit put."""
         self._require_open()
-        yield from self.client.kv_put(
-            self.catalogue_kv, f"__commit_{self.proc_id}", b"\x01"
-        )
+        with self._ledger.op("fdb.flush", self.client.sim) as opx:
+            yield from self.client.kv_put(
+                self.catalogue_kv, f"__commit_{self.proc_id}", b"\x01"
+            )
+            opx.note("kv-put")
 
     def retrieve(self, key: FdbKey) -> Generator:
         self._require_open()
         canonical = key.canonical()
-        for i in range(self.ROOT_GETS):
-            yield from self.client.kv_get(self.root_kv, f"{key.index_group()}#{i}")
-        for i in range(self.CATALOGUE_GETS):
-            yield from self.client.kv_get(self.catalogue_kv, f"{canonical}#{i}")
-        locator = yield from self.client.kv_get(self.index_kv, canonical)
-        for i in range(1, self.INDEX_GETS):
-            yield from self.client.kv_get(self.index_kv, f"{canonical}~aux{i}")
-        hi, lo, size = _LOCATOR.unpack(locator)
-        entry = self._local.get(canonical)
-        if entry is not None:
-            arr = entry[0]
-        else:
-            from repro.daos.oid import ObjectId
+        with self._ledger.op("fdb.retrieve", self.client.sim) as opx:
+            for i in range(self.ROOT_GETS):
+                yield from self.client.kv_get(self.root_kv, f"{key.index_group()}#{i}")
+            for i in range(self.CATALOGUE_GETS):
+                yield from self.client.kv_get(self.catalogue_kv, f"{canonical}#{i}")
+            locator = yield from self.client.kv_get(self.index_kv, canonical)
+            for i in range(1, self.INDEX_GETS):
+                yield from self.client.kv_get(self.index_kv, f"{canonical}~aux{i}")
+            opx.note("kv-get")
+            hi, lo, size = _LOCATOR.unpack(locator)
+            entry = self._local.get(canonical)
+            if entry is not None:
+                arr = entry[0]
+            else:
+                from repro.daos.oid import ObjectId
 
-            arr = self.container.lookup(ObjectId(hi, lo))
-        # size came from the index: no daos_array_get_size round trip.
-        data = yield from self.client.array_read(arr, 0, size)
-        return data
+                arr = self.container.lookup(ObjectId(hi, lo))
+            # size came from the index: no daos_array_get_size round trip.
+            data = yield from self.client.array_read(arr, 0, size)
+            opx.note("arr-read")
+            return data

@@ -18,6 +18,7 @@ from typing import Dict, Generator, List, Optional, Tuple
 from repro.errors import ExistsError, InvalidArgumentError, NotFoundError
 from repro.fdb.fdb import FdbBackend
 from repro.fdb.schema import FdbKey
+from repro.obs.ledger import NULL_LEDGER
 from repro.sim.randomness import stable_hash64
 from repro.units import MiB
 
@@ -54,6 +55,12 @@ class FdbPosixBackend(FdbBackend):
         self.create_kwargs = dict(create_kwargs or {})
         self.data_path = f"{root}/fdb.{proc_id}.data"
         self.index_path = f"{root}/fdb.{proc_id}.index"
+        # DFUSE adapters may not expose a ledger or a sim handle: stay
+        # dormant unless the underlying client carries both
+        self._sim = getattr(client, "sim", None)
+        self._ledger = (
+            getattr(client, "_ledger", NULL_LEDGER) if self._sim is not None else NULL_LEDGER
+        )
         self._data_fh = None
         self._index_fh = None
         self._writer = False
@@ -116,15 +123,18 @@ class FdbPosixBackend(FdbBackend):
             self._index_count += 1
         total = sum(size for _, _, size in self._buffer)
         start = self._data_offset - total
-        if self.materialize and blob_parts:
-            yield from self.client.write(self._data_fh, start, data=b"".join(blob_parts))
-        else:
-            yield from self.client.write(self._data_fh, start, nbytes=total)
-        yield from self.client.write(
-            self._index_fh,
-            (self._index_count - len(self._buffer)) * INDEX_ENTRY_SIZE,
-            nbytes=len(index_blob),
-        )
+        with self._ledger.op("fdb.flush", self._sim) as opx:
+            if self.materialize and blob_parts:
+                yield from self.client.write(self._data_fh, start, data=b"".join(blob_parts))
+            else:
+                yield from self.client.write(self._data_fh, start, nbytes=total)
+            opx.note("data-write")
+            yield from self.client.write(
+                self._index_fh,
+                (self._index_count - len(self._buffer)) * INDEX_ENTRY_SIZE,
+                nbytes=len(index_blob),
+            )
+            opx.note("index-write")
         self._buffer.clear()
         self._buffered_bytes = 0
 
@@ -137,10 +147,17 @@ class FdbPosixBackend(FdbBackend):
         if located is None:
             raise NotFoundError(f"field {canonical!r} not archived")
         offset, size, slot = located
-        index_fh = yield from self.client.open(self.index_path)
-        yield from self.client.read(index_fh, slot * INDEX_ENTRY_SIZE, INDEX_ENTRY_SIZE)
-        yield from self.client.close(index_fh)
-        data_fh = yield from self.client.open(self.data_path)
-        data = yield from self.client.read(data_fh, offset, size)
-        yield from self.client.close(data_fh)
-        return data
+        with self._ledger.op("fdb.retrieve", self._sim) as opx:
+            index_fh = yield from self.client.open(self.index_path)
+            opx.note("open")
+            yield from self.client.read(index_fh, slot * INDEX_ENTRY_SIZE, INDEX_ENTRY_SIZE)
+            opx.note("index-read")
+            yield from self.client.close(index_fh)
+            opx.note("close")
+            data_fh = yield from self.client.open(self.data_path)
+            opx.note("open")
+            data = yield from self.client.read(data_fh, offset, size)
+            opx.note("data-read")
+            yield from self.client.close(data_fh)
+            opx.note("close")
+            return data

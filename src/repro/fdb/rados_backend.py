@@ -15,6 +15,7 @@ from repro.ceph.rados import CephPool, RadosClient
 from repro.errors import InvalidArgumentError, NotFoundError
 from repro.fdb.fdb import FdbBackend
 from repro.fdb.schema import FdbKey
+from repro.obs.ledger import NULL_LEDGER
 
 __all__ = ["FdbRadosBackend"]
 
@@ -38,6 +39,7 @@ class FdbRadosBackend(FdbBackend):
         self.pg_num = pg_num
         self.materialize = materialize
         self.pool: Optional[CephPool] = None
+        self._ledger = getattr(client, "_ledger", NULL_LEDGER)
         self.index_object = f"fdb.index.{proc_id}"
         self._counter = 0
         #: canonical key -> (object name, size)
@@ -73,27 +75,35 @@ class FdbRadosBackend(FdbBackend):
         size = len(data) if data is not None else int(nbytes)
         name = self._object_name(self._counter)
         self._counter += 1
-        if data is not None:
-            yield from self.client.write(pool, name, 0, data=data)
-        else:
-            yield from self.client.write(pool, name, 0, nbytes=size)
-        canonical = key.canonical()
-        yield from self.client.omap_set(
-            pool, self.index_object, {canonical: name.encode() + b"|" + _LOCATOR.pack(size)}
-        )
-        self._index[canonical] = (name, size)
+        with self._ledger.op("fdb.archive", self.client.sim) as opx:
+            if data is not None:
+                yield from self.client.write(pool, name, 0, data=data)
+            else:
+                yield from self.client.write(pool, name, 0, nbytes=size)
+            opx.note("obj-write")
+            canonical = key.canonical()
+            yield from self.client.omap_set(
+                pool, self.index_object, {canonical: name.encode() + b"|" + _LOCATOR.pack(size)}
+            )
+            opx.note("omap-set")
+            self._index[canonical] = (name, size)
 
     def flush(self) -> Generator:
         """Commit marker on the index object."""
         pool = self._require_open()
-        yield from self.client.omap_set(pool, self.index_object, {"__commit": b"\x01"})
+        with self._ledger.op("fdb.flush", self.client.sim) as opx:
+            yield from self.client.omap_set(pool, self.index_object, {"__commit": b"\x01"})
+            opx.note("omap-set")
 
     def retrieve(self, key: FdbKey) -> Generator:
         pool = self._require_open()
         canonical = key.canonical()
-        entry = yield from self.client.omap_get(pool, self.index_object, canonical)
-        name_blob, _, size_blob = entry.partition(b"|")
-        name = name_blob.decode()
-        (size,) = _LOCATOR.unpack(size_blob)
-        data = yield from self.client.read(pool, name, 0, size)
-        return data
+        with self._ledger.op("fdb.retrieve", self.client.sim) as opx:
+            entry = yield from self.client.omap_get(pool, self.index_object, canonical)
+            opx.note("omap-get")
+            name_blob, _, size_blob = entry.partition(b"|")
+            name = name_blob.decode()
+            (size,) = _LOCATOR.unpack(size_blob)
+            data = yield from self.client.read(pool, name, 0, size)
+            opx.note("obj-read")
+            return data

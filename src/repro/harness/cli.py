@@ -22,6 +22,10 @@ per-callback-site wall attribution, flow-network recompute stats,
 queue-depth peaks) and prints a hot-path table per figure;
 ``--profile-json`` dumps the recorder state and ``--profile-flame``
 writes collapsed-stack lines for flamegraph.pl / speedscope.app.
+``--ledger`` turns on the op ledger (per-op latency decomposition with
+deterministic tail exemplars); ``--explain daos.lat.arr-read:p99``
+prints a waterfall table decomposing that quantile's exemplar op, and
+``--ledger-json`` exports every exemplar as NDJSON.
 Each flag activates the observability layer for the whole build;
 instrumentation never changes the simulated numbers (see
 docs/OBSERVABILITY.md).
@@ -124,6 +128,23 @@ def main(argv=None) -> int:
              "(feed to flamegraph.pl or paste into speedscope.app)",
     )
     parser.add_argument(
+        "--ledger", action="store_true",
+        help="record the op ledger (per-op latency decomposition with "
+             "deterministic tail exemplars) and print the p99 tail-"
+             "exemplar section after each figure",
+    )
+    parser.add_argument(
+        "--explain", action="append", metavar="OP:QUANTILE", default=[],
+        help="print a waterfall decomposition of this latency "
+             "instrument's quantile exemplar (e.g. "
+             "'daos.lat.arr-read:p99'); repeatable; implies --ledger",
+    )
+    parser.add_argument(
+        "--ledger-json", metavar="PATH",
+        help="export every figure's ledger exemplars as NDJSON "
+             "(one op per line, byte-stable); implies --ledger",
+    )
+    parser.add_argument(
         "--jobs", type=int, default=1, metavar="N",
         help="execute figure points across N worker processes "
              "(default: 1, in-process serial execution)",
@@ -151,6 +172,20 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     if args.jobs < 1:
         parser.error(f"--jobs must be >= 1, got {args.jobs}")
+    explains = []
+    for spec in args.explain:
+        op, sep, quant = spec.rpartition(":")
+        if not sep or not op:
+            parser.error(
+                f"--explain expects OP:QUANTILE (e.g. 'daos.lat.arr-read:p99'), "
+                f"got {spec!r}"
+            )
+        from repro.errors import ConfigError
+
+        try:
+            explains.append((op, obs_mod.parse_quantile(quant)))
+        except ConfigError as exc:
+            parser.error(f"--explain: {exc}")
     if args.faults:
         from repro.errors import ConfigError
         from repro.faults import parse_fault_plan
@@ -168,9 +203,10 @@ def main(argv=None) -> int:
         args.profile or bool(args.profile_json) or bool(args.profile_flame)
         or bool(args.bench)
     )
+    ledgering = args.ledger or bool(explains) or bool(args.ledger_json)
     observe = (
         bool(args.trace) or args.metrics or bool(args.metrics_json)
-        or bool(args.timeline) or bool(args.bench) or profiling
+        or bool(args.timeline) or bool(args.bench) or profiling or ledgering
     )
     timeline_cfg = (
         obs_mod.TimelineConfig(interval=args.timeline_interval)
@@ -190,6 +226,7 @@ def main(argv=None) -> int:
     metrics_doc = {}
     series_doc = {}
     profiles = {}
+    ledgers = {}
     bench_doc = None
     if args.bench:
         from repro.harness.bench import BENCH_SCHEMA, figure_record, git_sha
@@ -208,6 +245,7 @@ def main(argv=None) -> int:
             obs_mod.Observability(
                 timeline=timeline_cfg,
                 profile=obs_mod.ProfileRecorder() if profiling else None,
+                ledger=obs_mod.OpLedger() if ledgering else None,
             )
             if observe else None
         )
@@ -231,6 +269,10 @@ def main(argv=None) -> int:
         if args.profile and obs is not None and obs.profile is not None:
             print()
             print(obs_mod.render_hot_paths(obs.profile))
+        if explains and obs is not None:
+            for op, quant in explains:
+                print()
+                print(obs_mod.render_waterfall(obs.ledger, op, quant))
         print(
             f"(built in {wall:.1f}s at scale={args.scale}; "
             f"{exec_report.summary()})\n"
@@ -244,6 +286,8 @@ def main(argv=None) -> int:
             timelines.extend(obs.timelines)
             if obs.profile is not None:
                 profiles[fig_id] = obs.profile
+            if obs.ledger is not None:
+                ledgers[fig_id] = obs.ledger
             if args.metrics_json:
                 metrics_doc[fig_id] = obs.registry.snapshot()
             if bench_doc is not None:
@@ -257,8 +301,11 @@ def main(argv=None) -> int:
         if bench_doc is not None:
             bench_doc["cache"] = cache.stats.as_dict()
     if args.trace:
-        n = obs_mod.export_chrome_trace(args.trace, traced)
+        n = obs_mod.export_chrome_trace(args.trace, traced, ledgers=ledgers or None)
         print(f"{n} trace events written to {args.trace}")
+    if args.ledger_json:
+        n = obs_mod.export_ledger_ndjson(args.ledger_json, ledgers)
+        print(f"{n} ledger exemplar(s) written to {args.ledger_json}")
     if args.timeline:
         if args.timeline.endswith(".csv"):
             rows = obs_mod.export_timelines_csv(args.timeline, timelines)

@@ -102,14 +102,16 @@ def _run_task_observed(
     observe: bool,
     timeline: Optional[obs_mod.TimelineConfig],
     profile: bool = False,
+    ledger: bool = False,
 ) -> Tuple[PointResult, Optional[Dict[str, Any]]]:
     """Worker-side entry point (module-level, hence picklable).
 
     Explicitly controls the ambient observability: under a forking
     start method the child would otherwise inherit the parent's active
-    Observability and mutate a copy nobody reads.  ``profile`` mirrors
-    whether the parent carries a simprof recorder: the worker profiles
-    with a private one and its mergeable state rides the dump.
+    Observability and mutate a copy nobody reads.  ``profile`` and
+    ``ledger`` mirror whether the parent carries a simprof recorder /
+    op ledger: the worker records with private ones and their
+    mergeable state rides the dump.
     """
     if not observe:
         with obs_mod.activated(None):
@@ -117,6 +119,7 @@ def _run_task_observed(
     obs = obs_mod.Observability(
         timeline=timeline,
         profile=obs_mod.ProfileRecorder() if profile else None,
+        ledger=obs_mod.OpLedger() if ledger else None,
     )
     with obs_mod.activated(obs):
         result = run_point(task.spec, reps=task.reps, base_seed=task.base_seed)
@@ -145,10 +148,11 @@ class ParallelExecutor:
         observe = parent_obs is not None
         timeline = parent_obs.timeline_config if parent_obs is not None else None
         profile = parent_obs is not None and parent_obs.profile is not None
+        ledger = parent_obs is not None and parent_obs.ledger is not None
         results: List[PointResult] = []
         with ProcessPoolExecutor(max_workers=min(self.jobs, len(tasks))) as pool:
             futures: List["Future[Tuple[PointResult, Optional[Dict[str, Any]]]]"] = [
-                pool.submit(_run_task_observed, task, observe, timeline, profile)
+                pool.submit(_run_task_observed, task, observe, timeline, profile, ledger)
                 for task in tasks
             ]
             for future in futures:

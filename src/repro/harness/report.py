@@ -7,7 +7,7 @@ from typing import List
 
 from repro.harness.figures import FigureResult, Series
 from repro.obs.critpath import render_critical_path
-from repro.obs.report import render_bottlenecks
+from repro.obs.report import render_bottlenecks, render_tail_exemplars
 from repro.obs.timeline import render_timeline
 
 __all__ = ["render_figure", "render_markdown"]
@@ -69,6 +69,9 @@ def render_figure(result: FigureResult, obs=None) -> str:
             if len(busiest):
                 lines.append("")
                 lines.append(render_timeline(busiest))
+        if obs.ledger is not None and obs.ledger.names():
+            lines.append("")
+            lines.append(render_tail_exemplars(obs.ledger))
     return "\n".join(lines)
 
 

@@ -5,6 +5,7 @@ from repro.lint.rules import (  # noqa: F401
     defaults,
     excepts,
     floateq,
+    ledger,
     obsguard,
     probe,
     rng,

@@ -1,0 +1,141 @@
+"""SL010: ledger-op-closed — op contexts must be closed on every path.
+
+The op ledger's exactness invariant (docs/OBSERVABILITY.md) holds only
+when every :meth:`repro.obs.ledger.OpLedger.op` context reaches its
+``__exit__``: that is where the residual ``other`` component is charged
+and the exemplar recorded.  A context opened with a bare call —
+``opx = self._ledger.op(...)`` with no ``with`` block and no
+``try/finally`` that closes it — leaks on any exception path, silently
+dropping the op from the ledger and skewing every decomposition that
+follows.
+
+The check is syntactic and name-based, matching this codebase's
+convention: any call whose chain ends in ``.op`` on a ledger-named
+binding (``ledger`` / ``_ledger``, at any depth — ``self._ledger.op``,
+``obs.ledger.op``) must appear either
+
+- directly as a ``with`` item's context expression
+  (``with self._ledger.op(...) as opx:``), or
+- as the right-hand side of an assignment whose target's ``__exit__``
+  (or ``close``) is invoked inside the ``finally`` block of a ``try``
+  statement in the same function.
+
+Everything else — a bare expression call, an assignment that is never
+closed, a call passed as an argument — is flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Tuple
+
+from repro.lint.config import LintConfig
+from repro.lint.findings import Finding
+from repro.lint.registry import Rule, register
+
+if TYPE_CHECKING:
+    from repro.lint.engine import FileContext, ProjectIndex
+
+#: terminal component names that make a binding "ledger-named"
+LEDGER_NAMES = frozenset({"ledger", "_ledger"})
+
+
+def _chain_str(node: ast.AST) -> Optional[str]:
+    """Dotted string for a pure Name/Attribute chain, else None."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _is_ledger_op_call(node: ast.AST) -> bool:
+    """True for ``<...>.ledger.op(...)`` / ``<...>._ledger.op(...)``."""
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    if not (isinstance(func, ast.Attribute) and func.attr == "op"):
+        return False
+    chain = _chain_str(func.value)
+    if chain is None:
+        return False
+    return chain.rsplit(".", 1)[-1] in LEDGER_NAMES
+
+
+def _closed_in_finally(scope: Optional[ast.AST], target: Optional[str]) -> bool:
+    """Does any ``try`` in ``scope`` call ``target.__exit__`` (or
+    ``target.close``) in its ``finally`` block?"""
+    if scope is None or target is None:
+        return False
+    for node in ast.walk(scope):
+        if not isinstance(node, ast.Try) or not node.finalbody:
+            continue
+        for final_stmt in node.finalbody:
+            for sub in ast.walk(final_stmt):
+                if (
+                    isinstance(sub, ast.Attribute)
+                    and sub.attr in ("__exit__", "close")
+                    and _chain_str(sub.value) == target
+                ):
+                    return True
+    return False
+
+
+@register
+class LedgerOpClosedRule(Rule):
+    code = "SL010"
+    name = "ledger-op-closed"
+    description = (
+        "ledger.op(...) contexts must be opened in a 'with' block or "
+        "closed in a try/finally, so every path records the op"
+    )
+
+    def check(self, ctx: "FileContext", project: "ProjectIndex", config: LintConfig) -> Iterable[Finding]:
+        # classify every ledger-op call site in one tree walk: calls
+        # under a with-item are fine; assignment values get a closure
+        # check against their enclosing function; the rest are flagged
+        with_ok: set = set()
+        assigned: Dict[int, List[Optional[str]]] = {}
+        enclosing: Dict[int, Optional[ast.AST]] = {}
+        calls: List[Tuple[int, ast.Call]] = []
+
+        def walk(node: ast.AST, func: Optional[ast.AST]) -> None:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                func = node
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    if _is_ledger_op_call(item.context_expr):
+                        with_ok.add(id(item.context_expr))
+            if isinstance(node, ast.Assign) and _is_ledger_op_call(node.value):
+                assigned[id(node.value)] = [_chain_str(t) for t in node.targets]
+            if _is_ledger_op_call(node):
+                calls.append((id(node), node))
+                enclosing[id(node)] = func
+            for child in ast.iter_child_nodes(node):
+                walk(child, func)
+
+        walk(ctx.tree, None)
+        for key, call in calls:
+            if key in with_ok:
+                continue
+            targets = assigned.get(key)
+            if targets is not None:
+                scope = enclosing[key]
+                if any(_closed_in_finally(scope, t) for t in targets):
+                    continue
+                yield self.finding(
+                    ctx, call.lineno, call.col_offset,
+                    "ledger.op(...) assigned but never closed in a "
+                    "try/finally; use 'with ...op(...) as opx:' so every "
+                    "path records the op",
+                )
+            else:
+                yield self.finding(
+                    ctx, call.lineno, call.col_offset,
+                    "ledger.op(...) used outside a 'with' block; an op "
+                    "context not closed on every path silently drops "
+                    "the op from the ledger",
+                )

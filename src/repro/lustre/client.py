@@ -9,6 +9,7 @@ from typing import Dict, Generator, List, Optional, Tuple
 from repro.errors import DegradedError, InvalidArgumentError
 from repro.hardware.cluster import ClientNode
 from repro.lustre.fs import LustreFilesystem
+from repro.obs.ledger import NULL_CONTEXT, NULL_LEDGER
 from repro.lustre.mds import Inode
 from repro.lustre.ost import Ost
 from repro.sim.flownet import Link
@@ -44,9 +45,13 @@ class LustreClient:
         )
         self._op_rng = fs.cluster.rng.stream(f"lustre.{node.name}.op-jitter")
         self.op_jitter_sigma = 0.1
-        # Observability (dormant when the cluster carries none).
+        # Observability (dormant when the cluster carries none); the op
+        # ledger is a null object unless one is active.
+        self._ledger = NULL_LEDGER
         self._obs = fs.cluster.obs
         if self._obs is not None:
+            if self._obs.ledger is not None:
+                self._ledger = self._obs.ledger
             reg = self._obs.registry
             self._tid = self._obs.node_tid(node)
             self._m_mds = reg.counter(
@@ -104,10 +109,12 @@ class LustreClient:
         demand_cap: float = float("inf"),
         touch_ost: bool = True,
         touch_net: bool = True,
+        op_ctx=NULL_CONTEXT,
     ) -> Generator:
         if self._obs is None:
             yield from self._data_flow_raw(
-                kind, per_ost, name, extra_loads, demand_cap, touch_ost, touch_net
+                kind, per_ost, name, extra_loads, demand_cap, touch_ost,
+                touch_net, op_ctx
             )
             return
         nbytes = float(sum(per_ost.values()))
@@ -118,7 +125,8 @@ class LustreClient:
             f"lustre.{op}", cat="lustre", tid=self._tid, args={"bytes": nbytes}
         ):
             yield from self._data_flow_raw(
-                kind, per_ost, name, extra_loads, demand_cap, touch_ost, touch_net
+                kind, per_ost, name, extra_loads, demand_cap, touch_ost,
+                touch_net, op_ctx
             )
 
     def _data_flow_raw(
@@ -130,6 +138,7 @@ class LustreClient:
         demand_cap: float = float("inf"),
         touch_ost: bool = True,
         touch_net: bool = True,
+        op_ctx=NULL_CONTEXT,
     ) -> Generator:
         total = float(sum(per_ost.values()))
         if total <= 0:
@@ -139,6 +148,7 @@ class LustreClient:
             usages = [(link, load / total) for link, load in extra_loads.items()]
             flow = self.net.transfer(total, usages, name=name)
             yield flow.done
+            op_ctx.note_transfer(flow)
             return
         eff = self.params.protocol_efficiency
         loads: Dict[Link, float] = {}
@@ -178,6 +188,7 @@ class LustreClient:
         usages = [(link, load / total) for link, load in loads.items()]
         flow = self.net.transfer(total, usages, demand_cap=demand_cap, name=name)
         yield flow.done
+        op_ctx.note_transfer(flow)
 
     def _stripe_map(
         self, handle: LustreFile, offset: int, nbytes: int
@@ -256,28 +267,30 @@ class LustreClient:
             raise InvalidArgumentError("write needs data or nbytes")
         if nbytes == 0:
             return
-        start = self.sim.now
-        yield self._serial()
-        per_ost: Dict[Ost, int] = {}
-        pos = 0
-        for ost, stripe, chunk_idx, in_chunk, length in self._stripe_map(
-            handle, offset, nbytes
-        ):
-            per_ost[ost] = per_ost.get(ost, 0) + length
-            if materialize and data is not None:
-                obj = ost.store((handle.inode.inode_id, stripe))
-                chunk = obj.get(chunk_idx)
-                if not isinstance(chunk, bytearray):
-                    chunk = bytearray(chunk or b"")
-                if len(chunk) < in_chunk + length:
-                    chunk.extend(b"\0" * (in_chunk + length - len(chunk)))
-                chunk[in_chunk : in_chunk + length] = data[pos : pos + length]
-                obj[chunk_idx] = chunk
-            pos += length
-        handle.inode.size = max(handle.inode.size, offset + nbytes)
-        yield from self._data_flow("write", per_ost, "lustre-write")
-        if self._obs is not None:
-            self._m_lat_w.observe(self.sim.now - start)
+        with self._ledger.op("lustre.lat.write", self.sim) as opx:
+            start = self.sim.now
+            yield self._serial()
+            opx.note("serial")
+            per_ost: Dict[Ost, int] = {}
+            pos = 0
+            for ost, stripe, chunk_idx, in_chunk, length in self._stripe_map(
+                handle, offset, nbytes
+            ):
+                per_ost[ost] = per_ost.get(ost, 0) + length
+                if materialize and data is not None:
+                    obj = ost.store((handle.inode.inode_id, stripe))
+                    chunk = obj.get(chunk_idx)
+                    if not isinstance(chunk, bytearray):
+                        chunk = bytearray(chunk or b"")
+                    if len(chunk) < in_chunk + length:
+                        chunk.extend(b"\0" * (in_chunk + length - len(chunk)))
+                    chunk[in_chunk : in_chunk + length] = data[pos : pos + length]
+                    obj[chunk_idx] = chunk
+                pos += length
+            handle.inode.size = max(handle.inode.size, offset + nbytes)
+            yield from self._data_flow("write", per_ost, "lustre-write", op_ctx=opx)
+            if self._obs is not None:
+                self._m_lat_w.observe(self.sim.now - start)
 
     def read(self, handle: LustreFile, offset: int, nbytes: int) -> Generator:
         """Read; returns bytes (zeros for holes / non-materialised data)."""
@@ -285,26 +298,28 @@ class LustreClient:
             raise InvalidArgumentError("read on closed handle")
         if nbytes == 0:
             return b""
-        start = self.sim.now
-        yield self._serial()
-        out = bytearray(nbytes)
-        per_ost: Dict[Ost, int] = {}
-        pos = 0
-        for ost, stripe, chunk_idx, in_chunk, length in self._stripe_map(
-            handle, offset, nbytes
-        ):
-            readable = max(0, min(length, handle.inode.size - (offset + pos)))
-            if readable > 0:
-                per_ost[ost] = per_ost.get(ost, 0) + readable
-                obj = ost.lookup((handle.inode.inode_id, stripe))
-                if obj is not None and chunk_idx in obj:
-                    piece = bytes(obj[chunk_idx][in_chunk : in_chunk + readable])
-                    out[pos : pos + len(piece)] = piece
-            pos += length
-        yield from self._data_flow("read", per_ost, "lustre-read")
-        if self._obs is not None:
-            self._m_lat_r.observe(self.sim.now - start)
-        return bytes(out)
+        with self._ledger.op("lustre.lat.read", self.sim) as opx:
+            start = self.sim.now
+            yield self._serial()
+            opx.note("serial")
+            out = bytearray(nbytes)
+            per_ost: Dict[Ost, int] = {}
+            pos = 0
+            for ost, stripe, chunk_idx, in_chunk, length in self._stripe_map(
+                handle, offset, nbytes
+            ):
+                readable = max(0, min(length, handle.inode.size - (offset + pos)))
+                if readable > 0:
+                    per_ost[ost] = per_ost.get(ost, 0) + readable
+                    obj = ost.lookup((handle.inode.inode_id, stripe))
+                    if obj is not None and chunk_idx in obj:
+                        piece = bytes(obj[chunk_idx][in_chunk : in_chunk + readable])
+                        out[pos : pos + len(piece)] = piece
+                pos += length
+            yield from self._data_flow("read", per_ost, "lustre-read", op_ctx=opx)
+            if self._obs is not None:
+                self._m_lat_r.observe(self.sim.now - start)
+            return bytes(out)
 
     def unlink(self, path: str) -> Generator:
         yield from self.mds_request(2.0)

@@ -40,7 +40,18 @@ from repro.obs.export import (
     export_chrome_trace,
     export_collapsed_stacks,
     export_json,
+    export_ledger_ndjson,
     export_profile_json,
+    ledger_trace_events,
+)
+from repro.obs.ledger import (
+    NULL_CONTEXT,
+    NULL_LEDGER,
+    NullLedger,
+    NullOpContext,
+    OpContext,
+    OpLedger,
+    parse_quantile,
 )
 from repro.obs.metrics import (
     Counter,
@@ -50,7 +61,11 @@ from repro.obs.metrics import (
     MetricsRegistry,
 )
 from repro.obs.profile import ProfileRecorder
-from repro.obs.report import render_hot_paths
+from repro.obs.report import (
+    render_hot_paths,
+    render_tail_exemplars,
+    render_waterfall,
+)
 from repro.obs.span import TID_FLOWNET, TID_NODE_BASE, TID_SIM, Span, Tracer
 from repro.obs.timeline import (
     Timeline,
@@ -72,7 +87,18 @@ __all__ = [
     "Histogram",
     "LatencyHistogram",
     "ProfileRecorder",
+    "OpLedger",
+    "OpContext",
+    "NullLedger",
+    "NullOpContext",
+    "NULL_LEDGER",
+    "NULL_CONTEXT",
+    "parse_quantile",
     "render_hot_paths",
+    "render_tail_exemplars",
+    "render_waterfall",
+    "export_ledger_ndjson",
+    "ledger_trace_events",
     "Span",
     "Tracer",
     "chrome_trace_events",
@@ -115,12 +141,16 @@ class Observability:
         tracer: Optional[Tracer] = None,
         timeline: Optional[TimelineConfig] = None,
         profile: Optional[ProfileRecorder] = None,
+        ledger: Optional[OpLedger] = None,
     ):
         self.registry = registry or MetricsRegistry()
         self.tracer = tracer or Tracer()
         #: when set, every bound cluster's simulator routes dispatches
         #: through this recorder (simprof); dormant otherwise
         self.profile = profile
+        #: when set, clients decompose every op's latency into named
+        #: components with deterministic tail exemplars; dormant otherwise
+        self.ledger = ledger
         self.run_index = -1
         #: link name -> [busy integral, capacity * elapsed] across runs
         self.link_stats: Dict[str, List[float]] = {}
@@ -142,6 +172,8 @@ class Observability:
         sim.metrics = self.registry
         if self.profile is not None:
             sim.profile = self.profile
+        if self.ledger is not None:
+            self.ledger.set_run(self.run_index)
         self._hook_flownet(cluster.net)
         if self.timeline_config is not None:
             sampler = TimelineSampler(
@@ -245,6 +277,9 @@ class Observability:
             "profile": (
                 self.profile.dump_state() if self.profile is not None else None
             ),
+            "ledger": (
+                self.ledger.dump_state() if self.ledger is not None else None
+            ),
         }
 
     def absorb(self, payload: Dict[str, Any]) -> None:
@@ -276,6 +311,13 @@ class Observability:
             if self.profile is None:
                 self.profile = ProfileRecorder()
             self.profile.merge_state(profile_state)
+        ledger_state = payload.get("ledger")
+        if ledger_state is not None:
+            if self.ledger is None:
+                self.ledger = OpLedger(substeps=int(ledger_state["substeps"]))
+            # exemplar runs shift with the trace pids, so the merged
+            # (run, seq) order equals the serial run's exactly
+            self.ledger.merge_state(ledger_state, run_offset=pid_offset)
         self.run_index += int(payload["runs"])
 
     # -- lane helpers --------------------------------------------------------
@@ -307,6 +349,8 @@ class Observability:
         self.tracer.clear()
         if self.profile is not None:
             self.profile.reset()
+        if self.ledger is not None:
+            self.ledger.reset()
         self.link_stats.clear()
         self.timelines.clear()
         self.run_index = -1

@@ -22,6 +22,7 @@ from __future__ import annotations
 import json
 from typing import IO, Dict, List, Optional, Sequence, Union
 
+from repro.obs.ledger import OpLedger
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.profile import ProfileRecorder
 from repro.obs.span import Span, Tracer
@@ -31,8 +32,14 @@ __all__ = [
     "export_chrome_trace",
     "export_collapsed_stacks",
     "export_json",
+    "export_ledger_ndjson",
     "export_profile_json",
+    "ledger_trace_events",
 ]
+
+#: trace lane used for op-ledger exemplar slices (the span lanes use
+#: TID_SIM=0 / TID_FLOWNET=1 / node lanes from 100)
+TID_LEDGER = 2
 
 _US_PER_SIM_SECOND = 1e6
 
@@ -75,12 +82,16 @@ def chrome_trace_events(tracer: Tracer, pid_offset: int = 0,
 def export_chrome_trace(
     out: Union[str, IO],
     tracers: Union[Tracer, Sequence[tuple]],
+    ledgers: Optional[Dict[str, OpLedger]] = None,
 ) -> int:
     """Write a Chrome trace file; returns the number of slice events.
 
     ``tracers`` is either a single :class:`Tracer` or a sequence of
     ``(label, tracer)`` pairs (one per figure); in the latter case pids
-    are offset so runs from different figures never collide.
+    are offset so runs from different figures never collide.  When
+    ``ledgers`` maps a label to an :class:`OpLedger`, that figure's
+    exemplar ops ride along as slices on the ledger lane
+    (:data:`TID_LEDGER`) of the matching run processes.
     """
     if isinstance(tracers, Tracer):
         tracers = [("run", tracers)]
@@ -88,7 +99,14 @@ def export_chrome_trace(
     offset = 0
     for label, tracer in tracers:
         events.extend(chrome_trace_events(tracer, pid_offset=offset, process_label=label))
+        ledger = (ledgers or {}).get(label)
         max_pid = max((s.pid for s in tracer.spans), default=0)
+        if ledger is not None:
+            events.extend(ledger_trace_events(ledger, pid_offset=offset))
+            max_pid = max(
+                max_pid,
+                max((r["run"] for _, _, _, _, r in ledger.iter_exemplars()), default=0),
+            )
         offset += max_pid + 1
     doc = {"traceEvents": events, "displayTimeUnit": "ms"}
     if isinstance(out, str):
@@ -188,3 +206,85 @@ def export_profile_json(
             fh.write("\n")
     else:
         json.dump(doc, out, indent=1, sort_keys=True)
+
+
+def _as_ledger_dict(
+    ledgers: Union[OpLedger, Dict[str, OpLedger]],
+) -> Dict[str, OpLedger]:
+    if isinstance(ledgers, OpLedger):
+        return {"run": ledgers}
+    return dict(ledgers)
+
+
+def export_ledger_ndjson(
+    out: Union[str, IO],
+    ledgers: Union[OpLedger, Dict[str, OpLedger]],
+) -> int:
+    """Write op-ledger exemplars as NDJSON; returns the line count.
+
+    One JSON object per line — ``figure``, ``op``, histogram ``bucket``
+    with its exact ``[lo, hi)`` edges, the exemplar's ``(run, seq)``
+    identity, ``start``/``latency`` on sim time, the component map and
+    any flags — sorted by (figure, op, bucket) so the file is
+    byte-stable across executors and cache temperature.  ``ledgers`` is
+    a single :class:`OpLedger` or a ``{figure_id: ledger}`` dict.
+    """
+    lines: List[str] = []
+    named = _as_ledger_dict(ledgers)
+    for label in sorted(named):
+        for name, bucket, lo, hi, record in named[label].iter_exemplars():
+            row = {
+                "figure": label,
+                "op": name,
+                "bucket": bucket,
+                "lo": lo,
+                "hi": hi,
+                "run": record["run"],
+                "seq": record["seq"],
+                "start": record["start"],
+                "latency": record["latency"],
+                "components": record["components"],
+                "flags": record["flags"],
+            }
+            lines.append(json.dumps(row, sort_keys=True))
+    text = "\n".join(lines) + ("\n" if lines else "")
+    if isinstance(out, str):
+        with open(out, "w") as fh:
+            fh.write(text)
+    else:
+        out.write(text)
+    return len(lines)
+
+
+def ledger_trace_events(ledger: OpLedger, pid_offset: int = 0) -> List[Dict]:
+    """Exemplar ops as Chrome complete events on a dedicated lane.
+
+    Each exemplar becomes one ``ph: "X"`` slice at its op's sim-time
+    span with the component decomposition in ``args``, pid'd by run so
+    the slices land inside the matching trace process next to the span
+    lanes.
+    """
+    events: List[Dict] = []
+    pids = set()
+    for name, bucket, lo, hi, record in ledger.iter_exemplars():
+        events.append({
+            "name": name,
+            "cat": "ledger",
+            "ph": "X",
+            "ts": record["start"] * _US_PER_SIM_SECOND,
+            "dur": record["latency"] * _US_PER_SIM_SECOND,
+            "pid": record["run"] + pid_offset,
+            "tid": TID_LEDGER,
+            "args": {
+                "bucket": bucket,
+                "components": dict(record["components"]),
+                "flags": list(record["flags"]),
+            },
+        })
+        pids.add(record["run"] + pid_offset)
+    for pid in sorted(pids):
+        events.append({
+            "name": "thread_name", "ph": "M", "pid": pid,
+            "tid": TID_LEDGER, "args": {"name": "op ledger exemplars"},
+        })
+    return events

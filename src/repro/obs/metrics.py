@@ -508,7 +508,10 @@ class MetricsRegistry:
                 raise ConfigError(f"unknown instrument kind {kind!r} for {name!r}")
 
     def render_table(self) -> str:
-        """Human-readable metrics table grouped by layer."""
+        """Human-readable metrics table grouped by layer (a "(no
+        metrics...)" placeholder when the registry is empty)."""
+        if not self._instruments:
+            return "(no metrics recorded)"
         lines = [f"{'metric':<36}{'kind':>10}  {'value':>42}  unit"]
         lines.append("-" * len(lines[0]))
         for layer, instruments in self.by_layer().items():

@@ -149,6 +149,30 @@ def test_engine_rate_slowdown_fails_but_speedup_passes(tmp_path, bench_doc):
     assert code == 0, out
 
 
+def test_drift_table_ranks_worst_mismatch_first(tmp_path, bench_doc):
+    drifted = copy.deepcopy(bench_doc)
+    rec = next(iter(drifted["figures"].values()))
+    names = sorted(rec["series"])
+    # two drifted series: 50% on the first, 0.1% on the second — the
+    # table must lead with the larger relative delta
+    rec["series"][names[0]]["means"][0] *= 1.5
+    if len(names) > 1:
+        rec["series"][names[1]]["means"][0] *= 1.001
+    a = tmp_path / "a.json"
+    b = tmp_path / "b.json"
+    write_bench(bench_doc, str(a))
+    write_bench(drifted, str(b))
+    code, out = run_compare(a, b)
+    assert code == 1
+    assert "drifted value(s):" in out
+    table = out[out.index("drifted value(s):"):].splitlines()
+    assert "counter" in table[1] and "baseline" in table[1] and "delta" in table[1]
+    assert f"{names[0]}[0]" in table[3]  # worst drift leads
+    # --top caps the rows
+    code, out = run_compare(a, b, "--top", "1")
+    assert out.count("+50") == 1 and f"{names[0]}[0]" in out
+
+
 def test_schema_2_baseline_still_comparable(tmp_path, bench_doc):
     old = copy.deepcopy(bench_doc)
     old["schema"] = 2

@@ -351,7 +351,7 @@ def test_op_timeout_interrupts_and_retries():
     client = env.client(env.cluster.clients[0])
     sim = env.cluster.sim
 
-    def hang():
+    def hang(opx):
         yield sim.signal(name="never-fires")
 
     def scenario():

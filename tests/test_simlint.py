@@ -479,6 +479,74 @@ def test_sl007_none_default_clean(lint):
     assert findings == []
 
 
+# ---------------------------------------------------------------- SL010
+
+
+def test_sl010_bare_op_call_fires(lint):
+    findings = lint({"client.py": """
+        def write(self, data):
+            opx = self._ledger.op("daos.lat.arr-write", self.sim)
+            yield self._serial()
+            opx.note("serial")
+    """})
+    assert codes(findings) == ["SL010"]
+    assert "with" in findings[0].message
+
+
+def test_sl010_call_as_argument_fires(lint):
+    findings = lint({"client.py": """
+        def write(self, data):
+            track(self._ledger.op("daos.lat.arr-write", self.sim))
+    """})
+    assert codes(findings) == ["SL010"]
+
+
+def test_sl010_with_block_clean(lint):
+    findings = lint({"client.py": """
+        def write(self, data):
+            with self._ledger.op("daos.lat.arr-write", self.sim) as opx:
+                yield self._serial()
+                opx.note("serial")
+    """})
+    assert findings == []
+
+
+def test_sl010_try_finally_close_clean(lint):
+    findings = lint({"client.py": """
+        def write(self, data):
+            opx = self._ledger.op("daos.lat.arr-write", self.sim)
+            opx.__enter__()
+            try:
+                yield self._serial()
+            finally:
+                opx.__exit__(None, None, None)
+    """})
+    assert findings == []
+
+
+def test_sl010_unclosed_assignment_fires(lint):
+    findings = lint({"client.py": """
+        def write(self, data):
+            opx = self._ledger.op("daos.lat.arr-write", self.sim)
+            try:
+                yield self._serial()
+            finally:
+                self.cleanup()
+    """})
+    assert codes(findings) == ["SL010"]
+    assert "never closed" in findings[0].message
+
+
+def test_sl010_other_op_methods_clean(lint):
+    findings = lint({"client.py": """
+        def write(self, data, ledger):
+            self._tracker.op("not-a-ledger")
+            with ledger.op("kv-put", sim):
+                pass
+    """})
+    assert findings == []
+
+
 # ------------------------------------------------------- suppressions
 
 

@@ -56,10 +56,34 @@ def _rel_drift(old: float, new: float) -> float:
     return abs(new - old) / max(abs(old), DRIFT_EPS)
 
 
+def render_drift_table(drifts: List[tuple], top: int = 10) -> List[str]:
+    """The worst mismatches as aligned table lines, largest relative
+    delta first: (figure, counter, baseline, current, delta)."""
+    if not drifts:
+        return []
+    rows = [("figure", "counter", "baseline", "current", "delta")]
+    ranked = sorted(drifts, key=lambda d: (-d[4], d[0], d[1]))[:top]
+    for fig_id, key, old_v, new_v, rel in ranked:
+        rows.append((fig_id, key, f"{old_v:g}", f"{new_v:g}", f"{rel:+.3%}"))
+    widths = [max(len(r[i]) for r in rows) for i in range(5)]
+    lines = [f"top {min(top, len(drifts))} of {len(drifts)} drifted value(s):"]
+    for i, row in enumerate(rows):
+        lines.append(
+            "  " + "  ".join(cell.ljust(w) for cell, w in zip(row, widths)).rstrip()
+        )
+        if i == 0:
+            lines.append("  " + "-" * (sum(widths) + 8))
+    return lines
+
+
 def compare(old: Dict, new: Dict, wall_tolerance: float) -> tuple:
-    """Returns (regressions, infos): lists of human-readable lines."""
+    """Returns (regressions, infos, drifts): two lists of human-readable
+    lines plus the quantitative mismatches behind the regressions as
+    ``(figure, counter, baseline, current, relative_delta)`` tuples for
+    :func:`render_drift_table`."""
     regressions: List[str] = []
     infos: List[str] = []
+    drifts: List[tuple] = []
     if old.get("scale") != new.get("scale"):
         infos.append(
             f"note: comparing different scales "
@@ -87,6 +111,7 @@ def compare(old: Dict, new: Dict, wall_tolerance: float) -> tuple:
                     f"{fig_id}: wall-clock regression {ow:.2f}s -> {nw:.2f}s "
                     f"(+{rel:.0%}, tolerance {wall_tolerance:.0%})"
                 )
+                drifts.append((fig_id, "wall_seconds", ow, nw, rel))
             elif abs(rel) > 0.02:
                 word = "slower" if rel > 0 else "faster"
                 infos.append(f"{fig_id}: wall-clock {abs(rel):.0%} {word} ({ow:.2f}s -> {nw:.2f}s)")
@@ -100,6 +125,10 @@ def compare(old: Dict, new: Dict, wall_tolerance: float) -> tuple:
                     f"{o[counter]} -> {n[counter]} (deterministic per seed; "
                     f"regenerate the baseline if this is intentional)"
                 )
+                drifts.append(
+                    (fig_id, counter, o[counter], n[counter],
+                     _rel_drift(o[counter], n[counter]))
+                )
         # derived rates: wall-clock in the denominator, so noisy — only
         # slowdowns beyond the tolerance fail
         for rate in ("events_per_second", "recomputes_per_second"):
@@ -111,6 +140,7 @@ def compare(old: Dict, new: Dict, wall_tolerance: float) -> tuple:
                     f"{fig_id}: {rate} regression {o[rate]:.0f} -> {n[rate]:.0f} "
                     f"(-{rel:.0%}, tolerance {wall_tolerance:.0%})"
                 )
+                drifts.append((fig_id, rate, o[rate], n[rate], rel))
             elif abs(rel) > 0.02:
                 word = "slower" if rel > 0 else "faster"
                 infos.append(
@@ -132,6 +162,9 @@ def compare(old: Dict, new: Dict, wall_tolerance: float) -> tuple:
                         f"{fig_id}: modelled drift in {name!r}[{i}]: "
                         f"{om!r} -> {nm!r}"
                     )
+                    drifts.append(
+                        (fig_id, f"{name}[{i}]", om, nm, _rel_drift(om, nm))
+                    )
         # shape checks
         if n["checks_passed"] < n["checks_total"] and (
             o["checks_passed"] == o["checks_total"]
@@ -143,7 +176,7 @@ def compare(old: Dict, new: Dict, wall_tolerance: float) -> tuple:
             )
     for fig_id in sorted(set(new["figures"]) - set(old["figures"])):
         infos.append(f"{fig_id}: new figure (no baseline)")
-    return regressions, infos
+    return regressions, infos, drifts
 
 
 def main(argv=None) -> int:
@@ -155,6 +188,10 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--wall-tolerance", type=float, default=0.10, metavar="FRAC",
         help="allowed fractional wall-clock growth per figure (default 0.10)",
+    )
+    parser.add_argument(
+        "--top", type=int, default=10, metavar="N",
+        help="rows in the drift table printed on mismatch (default 10)",
     )
     args = parser.parse_args(argv)
     if not os.path.exists(args.old):
@@ -172,7 +209,7 @@ def main(argv=None) -> int:
     except (OSError, ValueError, json.JSONDecodeError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    regressions, infos = compare(old, new, args.wall_tolerance)
+    regressions, infos, drifts = compare(old, new, args.wall_tolerance)
     print(
         f"comparing {old.get('git_sha', '?')} ({args.old}) -> "
         f"{new.get('git_sha', '?')} ({args.new})"
@@ -182,6 +219,8 @@ def main(argv=None) -> int:
     if regressions:
         for line in regressions:
             print(f"  REGRESSION: {line}")
+        for line in render_drift_table(drifts, top=args.top):
+            print(line)
         print(f"{len(regressions)} regression(s) found")
         return 1
     print("no regressions")

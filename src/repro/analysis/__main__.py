@@ -1,0 +1,5 @@
+"""``python -m repro.analysis`` — the simflow whole-program checker."""
+
+from repro.analysis.cli import main
+
+raise SystemExit(main())

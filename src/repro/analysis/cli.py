@@ -1,0 +1,49 @@
+"""Command line front end: ``python -m repro.analysis [paths...]``.
+
+simflow shares simlint's entire front-end machinery — config loading,
+``# simlint: disable=`` pragmas, severity overrides, text/JSON/SARIF
+reporters, the incremental finding cache — but runs only the
+whole-program rules (SL011–SL014).  Exit codes match simlint's: 0 clean
+or warnings only, 1 error findings, 2 usage/config problems.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List, Optional
+
+from repro.analysis.rules import flow_rules
+from repro.lint.cli import add_common_arguments, run_front_end
+
+__all__ = ["main"]
+
+#: simflow analyses the library, not the tools/examples scripts: the
+#: whole-program passes need the package layout to classify roles
+DEFAULT_PATHS = ["src"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description=(
+            "simflow: whole-program effect, determinism-taint, and "
+            "unit-dimension analysis (SL011-SL014)"
+        ),
+    )
+    add_common_arguments(parser, default_paths=DEFAULT_PATHS)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.cache_file == ".simlint-cache.json":
+        # keep the two front ends' caches apart even with default flags
+        args.cache_file = ".simflow-cache.json"
+    return run_front_end(
+        args, flow_rules(), tool_name="simflow", default_paths=DEFAULT_PATHS
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover - module smoke entry
+    raise SystemExit(main())

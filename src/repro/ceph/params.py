@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.units import MiB
+from repro.units import Bytes, MiB
 
 __all__ = ["CephParams"]
 
@@ -32,7 +32,7 @@ class CephParams:
     write_efficiency: float = 0.66
     read_efficiency: float = 0.70
     protocol_efficiency: float = 0.94
-    max_object_size: int = 132 * MiB
+    max_object_size: Bytes = 132 * MiB
     osd_op_capacity: float = 5_000.0
     default_pg_num: int = 256
     monitor_capacity: float = 10_000.0

@@ -14,6 +14,7 @@ from repro.errors import InvalidArgumentError, NotFoundError
 from repro.hardware.cluster import ClientNode
 from repro.obs.ledger import NULL_CONTEXT, NULL_LEDGER
 from repro.sim.flownet import Link
+from repro.units import Bytes
 
 __all__ = ["CephPool", "RadosClient"]
 
@@ -310,7 +311,7 @@ class RadosClient:
             if self._obs is not None:
                 self._m_lat_w.observe(self.sim.now - start)
 
-    def _ec_write(self, pool: CephPool, obj: str, offset: int, data, nbytes: int,
+    def _ec_write(self, pool: CephPool, obj: str, offset: Bytes, data, nbytes: Bytes,
                   op_ctx=NULL_CONTEXT) -> Generator:
         """EC pools accept only full-object writes (real librados rejects
         arbitrary overwrites on erasure-coded pools)."""
@@ -340,7 +341,7 @@ class RadosClient:
     def write_full(self, pool: CephPool, obj: str, data: bytes) -> Generator:
         yield from self.write(pool, obj, 0, data=data)
 
-    def read(self, pool: CephPool, obj: str, offset: int, nbytes: int) -> Generator:
+    def read(self, pool: CephPool, obj: str, offset: Bytes, nbytes: Bytes) -> Generator:
         """Read from the primary OSD; returns bytes (zeros when the pool
         is non-materialising)."""
         self._require_connected()

@@ -27,7 +27,7 @@ from repro.daos.objclass import ObjectClass
 from repro.daos.oid import ObjectId
 from repro.daos.pool import Target
 from repro.errors import DataLossError, InvalidArgumentError, UnavailableError
-from repro.units import MiB
+from repro.units import Bytes, MiB
 
 __all__ = ["DaosArray"]
 
@@ -42,7 +42,7 @@ class DaosArray(DaosObject):
         container: Container,
         oid: ObjectId,
         oc: ObjectClass,
-        chunk_size: int = MiB,
+        chunk_size: Bytes = MiB,
     ):
         if chunk_size < 1:
             raise InvalidArgumentError(f"chunk size must be positive: {chunk_size}")
@@ -61,7 +61,7 @@ class DaosArray(DaosObject):
         self._extents: Dict[int, int] = {}
 
     # -- geometry helpers ------------------------------------------------------
-    def _chunk_range(self, offset: int, nbytes: int) -> range:
+    def _chunk_range(self, offset: Bytes, nbytes: Bytes) -> range:
         first = offset // self.chunk_size
         last = (offset + nbytes - 1) // self.chunk_size
         return range(first, last + 1)
@@ -239,7 +239,7 @@ class DaosArray(DaosObject):
         self.container.epoch += 1
         return charges
 
-    def read(self, offset: int, nbytes: int) -> Tuple[bytes, Dict[Target, int]]:
+    def read(self, offset: Bytes, nbytes: Bytes) -> Tuple[bytes, Dict[Target, int]]:
         """Read ``nbytes`` at ``offset``; returns ``(data, charges)``.
 
         Holes and regions past the written size read as zeros (the timed
@@ -299,7 +299,7 @@ class DaosArray(DaosObject):
                     )
         return bytes(out), charges
 
-    def bulk_charges(self, kind: str, nbytes: int) -> Dict[Target, float]:
+    def bulk_charges(self, kind: str, nbytes: Bytes) -> Dict[Target, float]:
         """Analytic per-target byte charges for ``nbytes`` of sequential
         bulk I/O, amplification included.
 
@@ -344,7 +344,7 @@ class DaosArray(DaosObject):
                 add(group[0], share)
         return charges
 
-    def truncate(self, new_size: int) -> None:
+    def truncate(self, new_size: Bytes) -> None:
         """Shrink (or extend with a hole) to ``new_size`` bytes."""
         if new_size < 0:
             raise InvalidArgumentError(f"negative size: {new_size}")

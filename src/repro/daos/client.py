@@ -42,7 +42,7 @@ from repro.hardware.cluster import ClientNode, Cluster
 from repro.obs.ledger import NULL_CONTEXT, NULL_LEDGER
 from repro.sim.core import Interrupt
 from repro.sim.flownet import Link
-from repro.units import MiB
+from repro.units import Bytes, MiB
 
 __all__ = ["DaosClient"]
 
@@ -385,7 +385,7 @@ class DaosClient:
         self,
         cont: Container,
         oc: "str | ObjectClass | None" = None,
-        chunk_size: int = MiB,
+        chunk_size: Bytes = MiB,
     ) -> Generator:
         """Create a new Array object; returns the :class:`DaosArray`."""
         arr = cont.new_array(oc, chunk_size=chunk_size)
@@ -453,7 +453,7 @@ class DaosClient:
 
         return (yield from self._with_retry(op, "arr-write"))
 
-    def array_read(self, arr: DaosArray, offset: int, nbytes: int) -> Generator:
+    def array_read(self, arr: DaosArray, offset: Bytes, nbytes: Bytes) -> Generator:
         """Timed Array read; returns the bytes.
 
         Reads route around dead targets inside the functional store
@@ -489,7 +489,7 @@ class DaosClient:
         yield from self._md_flow({engine: 1.0}, name="arr-size")
         return arr.size()
 
-    def array_truncate(self, arr: DaosArray, new_size: int) -> Generator:
+    def array_truncate(self, arr: DaosArray, new_size: Bytes) -> Generator:
         yield self._serial()
         arr.truncate(new_size)
         engine = arr.groups[0][0].engine

@@ -9,6 +9,7 @@ from repro.daos.oid import ObjectId
 from repro.daos.placement import jump_consistent_hash
 from repro.errors import NotFoundError
 from repro.sim.randomness import stable_hash64
+from repro.units import Bytes
 
 __all__ = ["Container"]
 
@@ -97,7 +98,7 @@ class Container:
         self.register(oid, kv)
         return kv
 
-    def new_array(self, oc: "str | ObjectClass | None" = None, chunk_size: int = 1 << 20):
+    def new_array(self, oc: "str | ObjectClass | None" = None, chunk_size: Bytes = 1 << 20):
         """Synchronously create+register an Array object (functional only)."""
         from repro.daos.array import DaosArray
 

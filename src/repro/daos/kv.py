@@ -24,6 +24,7 @@ from repro.errors import (
     UnavailableError,
 )
 from repro.sim.randomness import stable_hash64
+from repro.units import Bytes
 
 __all__ = ["DaosKV", "MAX_KEY_LENGTH"]
 
@@ -144,7 +145,7 @@ class DaosKV(DaosObject):
         return len(value)
 
     def bulk_op_loads(
-        self, kind: str, n_ops: float, value_size: int
+        self, kind: str, n_ops: float, value_size: Bytes
     ) -> Tuple[Dict[Target, float], Dict]:
         """Analytic loads for ``n_ops`` puts/gets with uniformly hashed
         keys: per-target value bytes and per-engine request ops.

@@ -17,7 +17,7 @@ fault's outage window.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Union
+from typing import Any, Dict, Generator, List, Optional, Union
 
 from repro.daos.rebuild import RebuildReport, run_rebuild
 from repro.errors import ConfigError
@@ -31,7 +31,7 @@ __all__ = ["FaultController"]
 class FaultController:
     """Schedules and executes the events of a fault plan."""
 
-    def __init__(self, env, plan: Union[FaultPlan, str]):
+    def __init__(self, env: Any, plan: Union[FaultPlan, str]) -> None:
         if isinstance(plan, str):
             plan = parse_fault_plan(plan)
         self.env = env
@@ -43,7 +43,7 @@ class FaultController:
         self.recovered = 0
         self.reports: List[RebuildReport] = []
         self._gates: Dict[str, Gate] = {}
-        self._phase_signals: Dict[str, object] = {}
+        self._phase_signals: Dict[str, Any] = {}
         self._link_caps: Dict[str, float] = {}
         self._rebuilds_running = 0
         # the workload layer reaches the controller through the cluster
@@ -86,14 +86,14 @@ class FaultController:
         return [oid for report in self.reports for oid in report.objects_lost]
 
     # -- internals -----------------------------------------------------------
-    def _phase_signal(self, name: str):
+    def _phase_signal(self, name: str) -> Any:
         sig = self._phase_signals.get(name)
         if sig is None:
             sig = self.sim.signal(name=f"fault-phase.{name}")
             self._phase_signals[name] = sig
         return sig
 
-    def _event_main(self, event: FaultEvent):
+    def _event_main(self, event: FaultEvent) -> Generator[Any, Any, None]:
         if event.phase is not None:
             yield self._phase_signal(event.phase)
         if event.at > 0:
@@ -147,7 +147,7 @@ class FaultController:
             self._gate(event.arg).open()
 
     # -- backend dispatch ----------------------------------------------------
-    def _storage_units(self) -> list:
+    def _storage_units(self) -> List[Any]:
         """The backend's failable units, in global-index order."""
         env = self.env
         if hasattr(env, "pool"):
@@ -178,8 +178,8 @@ class FaultController:
             if rebuild is not None and rebuild.rebuild:
                 self._spawn_rebuild([unit], rebuild.share)
 
-    def _set_node(self, node, alive: bool, rebuild: Optional[FaultEvent] = None) -> None:
-        failed = []
+    def _set_node(self, node: Any, alive: bool, rebuild: Optional[FaultEvent] = None) -> None:
+        failed: List[Any] = []
         pool = getattr(self.env, "pool", None)
         for unit in self._storage_units():
             unit_node = unit.engine.node if pool is not None else unit.node
@@ -206,7 +206,7 @@ class FaultController:
         else:
             device.fail()
         pool = getattr(self.env, "pool", None)
-        failed = []
+        failed: List[Any] = []
         for index, unit in enumerate(self._storage_units()):
             if unit.device is not device:
                 continue
@@ -224,7 +224,7 @@ class FaultController:
         if failed and rebuild is not None and rebuild.rebuild:
             self._spawn_rebuild(failed, rebuild.share)
 
-    def _spawn_rebuild(self, targets: list, share: float) -> None:
+    def _spawn_rebuild(self, targets: List[Any], share: float) -> None:
         pool = getattr(self.env, "pool", None)
         if pool is None:
             return  # only DAOS has server-driven rebuild
@@ -233,7 +233,7 @@ class FaultController:
             name=f"fault.rebuild.{targets[0].name}",
         )
 
-    def _rebuild_main(self, pool, targets: list, share: float):
+    def _rebuild_main(self, pool: Any, targets: List[Any], share: float) -> Generator[Any, Any, None]:
         self._rebuilds_running += 1
         if self._obs is not None:
             self._g_rebuild.set(self._rebuilds_running)
@@ -249,7 +249,7 @@ class FaultController:
                 self._g_rebuild.set(self._rebuilds_running)
 
     # -- argument resolution -------------------------------------------------
-    def _server(self, index: int):
+    def _server(self, index: int) -> Any:
         servers = self.cluster.servers
         if not 0 <= index < len(servers):
             raise ConfigError(
@@ -257,7 +257,7 @@ class FaultController:
             )
         return servers[index]
 
-    def _device(self, arg: str):
+    def _device(self, arg: str) -> Any:
         node_part, _, dev_part = arg.partition(".")
         try:
             node_index = int(node_part.removeprefix("srv"))
@@ -273,7 +273,7 @@ class FaultController:
             )
         return node.devices[dev_index]
 
-    def _link(self, name: str):
+    def _link(self, name: str) -> Any:
         from repro.errors import SimulationError
 
         try:

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.units import GiB, Gbps, TiB
+from repro.units import Bytes, BytesPerSec, GiB, Gbps, TiB
 
 __all__ = ["ServerSpec", "ClientSpec", "SERVER_N2_CUSTOM_36", "CLIENT_N2_HIGHCPU_32"]
 
@@ -24,23 +24,23 @@ class ServerSpec:
 
     name: str
     cores: int
-    dram_bytes: int
+    dram_bytes: Bytes
     nvme_devices: int
-    nvme_capacity_bytes: int  # total across all devices
-    nvme_write_bw: float  # aggregate bytes/s across all devices
-    nvme_read_bw: float
-    nic_bw: float  # bytes/s, each direction
+    nvme_capacity_bytes: Bytes  # total across all devices
+    nvme_write_bw: BytesPerSec  # aggregate across all devices
+    nvme_read_bw: BytesPerSec
+    nic_bw: BytesPerSec  # each direction
 
     @property
-    def device_capacity(self) -> int:
+    def device_capacity(self) -> Bytes:
         return self.nvme_capacity_bytes // self.nvme_devices
 
     @property
-    def device_write_bw(self) -> float:
+    def device_write_bw(self) -> BytesPerSec:
         return self.nvme_write_bw / self.nvme_devices
 
     @property
-    def device_read_bw(self) -> float:
+    def device_read_bw(self) -> BytesPerSec:
         return self.nvme_read_bw / self.nvme_devices
 
 
@@ -50,8 +50,8 @@ class ClientSpec:
 
     name: str
     cores: int
-    dram_bytes: int
-    nic_bw: float
+    dram_bytes: Bytes
+    nic_bw: BytesPerSec
 
 
 #: The paper's DAOS/Lustre/Ceph server VM.

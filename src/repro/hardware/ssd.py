@@ -6,6 +6,7 @@ from typing import Optional
 
 from repro.errors import NoSpaceError
 from repro.sim.flownet import FlowNetwork, Link
+from repro.units import Bytes, BytesPerSec
 
 __all__ = ["SsdDevice"]
 
@@ -24,22 +25,22 @@ class SsdDevice:
         self,
         net: FlowNetwork,
         name: str,
-        capacity_bytes: int,
-        write_bw: float,
-        read_bw: float,
+        capacity_bytes: Bytes,
+        write_bw: BytesPerSec,
+        read_bw: BytesPerSec,
     ):
         self.name = name
-        self.capacity_bytes = int(capacity_bytes)
-        self.used_bytes = 0
+        self.capacity_bytes: Bytes = int(capacity_bytes)
+        self.used_bytes: Bytes = 0
         self.alive = True
         self.write_link: Link = net.add_link(f"{name}.w", write_bw)
         self.read_link: Link = net.add_link(f"{name}.r", read_bw)
 
     @property
-    def free_bytes(self) -> int:
+    def free_bytes(self) -> Bytes:
         return self.capacity_bytes - self.used_bytes
 
-    def allocate(self, nbytes: int) -> None:
+    def allocate(self, nbytes: Bytes) -> None:
         """Reserve space; raises :class:`NoSpaceError` when full."""
         if nbytes < 0:
             raise ValueError(f"cannot allocate negative bytes: {nbytes}")
@@ -49,7 +50,7 @@ class SsdDevice:
             )
         self.used_bytes += nbytes
 
-    def release(self, nbytes: int) -> None:
+    def release(self, nbytes: Bytes) -> None:
         """Return space after a delete/punch."""
         if nbytes < 0:
             raise ValueError(f"cannot release negative bytes: {nbytes}")

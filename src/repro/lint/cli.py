@@ -7,34 +7,50 @@ Exit codes are stable so CI can gate on them:
 1      at least one error-severity finding
 2      usage or configuration problem (bad path, malformed config)
 =====  ===============================================================
+
+Incremental mode (``--changed-only`` or explicit file arguments with
+``--cache``) is built for pre-commit hooks: the *collect* pass still
+covers the whole default tree so cross-file rules (SL005's probe
+registry, simflow's call graph) keep their whole-program facts, but
+only the selected files are checked, and unchanged files are served
+from an mtime+config-hash finding cache.
 """
 
 from __future__ import annotations
 
 import argparse
+import subprocess
 import sys
-from typing import List, Optional
+from pathlib import Path
+from typing import List, Optional, Sequence
 
+from repro.lint.cache import DEFAULT_CACHE_PATH, FindingCache, config_fingerprint
 from repro.lint.config import LintConfig, load_config
 from repro.lint.engine import LintEngine
 from repro.lint.findings import Severity
-from repro.lint.registry import all_rules
-from repro.lint.reporters import error_count, render_json, render_text
+from repro.lint.registry import Rule, all_rules
+from repro.lint.reporters import (
+    error_count,
+    render_json,
+    render_sarif,
+    render_text,
+)
 
-__all__ = ["main"]
+__all__ = ["main", "add_common_arguments", "changed_python_files", "run_front_end"]
 
 
-def _build_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
-        prog="python -m repro.lint",
-        description="simlint: AST invariant checker for the repro codebase",
-    )
+def add_common_arguments(parser: argparse.ArgumentParser, default_paths: List[str]) -> None:
+    """Arguments shared by the simlint and simflow front ends."""
     parser.add_argument(
-        "paths", nargs="*", default=["src"],
-        help="files or directories to lint (default: src)",
+        "paths", nargs="*", default=default_paths,
+        help=f"files or directories to lint (default: {' '.join(default_paths)})",
     )
     parser.add_argument(
         "--json", action="store_true", help="emit a JSON report on stdout"
+    )
+    parser.add_argument(
+        "--sarif", metavar="PATH", default=None,
+        help="write a SARIF 2.1.0 report to PATH ('-' for stdout)",
     )
     parser.add_argument(
         "--config", metavar="PATH", default=None,
@@ -56,12 +72,47 @@ def _build_parser() -> argparse.ArgumentParser:
         "--list-rules", action="store_true",
         help="print every registered rule and exit",
     )
-    return parser
+    parser.add_argument(
+        "--changed-only", action="store_true",
+        help="check only files changed vs git HEAD (plus untracked); the "
+             "collect pass still covers the full tree",
+    )
+    parser.add_argument(
+        "--cache", action="store_true",
+        help="reuse per-file findings from the cache for unchanged files "
+             "(implied by --changed-only; see --cache-file)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the finding cache even in --changed-only mode",
+    )
+    parser.add_argument(
+        "--cache-file", metavar="PATH", default=DEFAULT_CACHE_PATH,
+        help=f"finding cache location (default: {DEFAULT_CACHE_PATH})",
+    )
 
 
-def _list_rules() -> str:
+def changed_python_files() -> List[str]:
+    """Python files changed vs HEAD plus untracked ones, per git."""
+    files: List[str] = []
+    for args in (
+        ["git", "diff", "--name-only", "HEAD", "--"],
+        ["git", "ls-files", "--others", "--exclude-standard"],
+    ):
+        proc = subprocess.run(
+            args, capture_output=True, text=True, check=True,
+        )
+        files.extend(line for line in proc.stdout.splitlines() if line)
+    seen = []
+    for f in sorted(set(files)):
+        if f.endswith(".py") and Path(f).is_file() and f not in seen:
+            seen.append(f)
+    return seen
+
+
+def _list_rules(rules: Sequence[Rule]) -> str:
     lines = []
-    for rule in all_rules():
+    for rule in rules:
         lines.append(
             f"{rule.code}  {rule.name:<24} [{rule.default_severity.value}] "
             f"{rule.description}"
@@ -69,34 +120,95 @@ def _list_rules() -> str:
     return "\n".join(lines)
 
 
-def main(argv: Optional[List[str]] = None) -> int:
-    parser = _build_parser()
-    args = parser.parse_args(argv)
+def run_front_end(
+    args: argparse.Namespace,
+    rules: List[Rule],
+    tool_name: str,
+    default_paths: List[str],
+) -> int:
+    """Shared driver behind ``python -m repro.lint`` and
+    ``python -m repro.analysis``."""
     if args.list_rules:
-        print(_list_rules())
+        print(_list_rules(rules))
         return 0
     try:
         config = LintConfig() if args.no_config else load_config(args.config)
     except ValueError as err:
-        print(f"simlint: config error: {err}", file=sys.stderr)
+        print(f"{tool_name}: config error: {err}", file=sys.stderr)
         return 2
     if args.select:
         config.select = [c.strip().upper() for c in args.select.split(",") if c.strip()]
     if args.ignore:
         config.ignore = [c.strip().upper() for c in args.ignore.split(",") if c.strip()]
-    engine = LintEngine(config=config)
+    engine = LintEngine(config=config, rules=rules)
+
+    targets: Optional[List[str]] = None
+    paths = list(args.paths)
+    if args.changed_only:
+        try:
+            targets = changed_python_files()
+        except (OSError, subprocess.CalledProcessError) as err:
+            print(f"{tool_name}: --changed-only needs git: {err}", file=sys.stderr)
+            return 2
+        # collect over the default tree; check only the changed files
+        paths = default_paths
+        if not targets:
+            print(f"{tool_name}: no changed python files")
+            return 0
+    elif any(Path(p).is_file() for p in paths) and (args.cache and not args.no_cache):
+        # explicit file arguments with caching: same incremental shape
+        # (collect over the default tree when it exists — outside the
+        # repo, fall back to collecting over just the named files)
+        targets = [p for p in paths if Path(p).is_file()]
+        if all(Path(d).exists() for d in default_paths):
+            paths = default_paths
+
+    cache: Optional[FindingCache] = None
+    if (args.changed_only or args.cache) and not args.no_cache:
+        cache = FindingCache(args.cache_file, config_fingerprint(config, rules))
     try:
-        files = engine.discover(args.paths)
-        findings = engine.run(args.paths)
+        files = engine.discover(paths)
+        findings = engine.run(paths, targets=targets, cache=cache)
     except FileNotFoundError as err:
-        print(f"simlint: {err}", file=sys.stderr)
+        print(f"{tool_name}: {err}", file=sys.stderr)
         return 2
-    report = (
-        render_json(findings, len(files)) if args.json
-        else render_text(findings, len(files))
-    )
-    print(report)
+    if cache is not None:
+        cache.save()
+    checked = len(targets) if targets is not None else len(files)
+    if args.sarif:
+        sarif = render_sarif(findings, tool_name=tool_name, rules=rules)
+        if args.sarif == "-":
+            print(sarif)
+        else:
+            Path(args.sarif).write_text(sarif + "\n", encoding="utf-8")
+    if args.json:
+        print(render_json(findings, checked))
+    elif args.sarif != "-":
+        report = render_text(findings, checked, tool_name=tool_name)
+        if cache is not None and (cache.hits or cache.misses):
+            report += (
+                f"\n{tool_name}: cache {cache.hits} hit(s), "
+                f"{cache.misses} miss(es)"
+            )
+        print(report)
     return 1 if error_count(findings) else 0
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="simlint: AST invariant checker for the repro codebase",
+    )
+    add_common_arguments(parser, default_paths=["src"])
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    return run_front_end(
+        args, list(all_rules()), tool_name="simlint", default_paths=["src"]
+    )
 
 
 if __name__ == "__main__":  # pragma: no cover - module smoke entry

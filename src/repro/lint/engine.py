@@ -6,12 +6,15 @@ import ast
 import fnmatch
 import os
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.lint.config import LintConfig
 from repro.lint.findings import Finding, Severity
 from repro.lint.registry import Rule, all_rules
-from repro.lint.suppress import SuppressionIndex
+from repro.lint.suppress import ALL_CODES, SuppressionIndex
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.lint.cache import FindingCache
 
 __all__ = ["FileContext", "ProjectIndex", "LintEngine", "lint_paths"]
 
@@ -95,10 +98,27 @@ class LintEngine:
         )
 
     # -- the run -------------------------------------------------------------
-    def run(self, paths: Sequence[str]) -> List[Finding]:
+    def run(
+        self,
+        paths: Sequence[str],
+        targets: Optional[Sequence[str]] = None,
+        cache: Optional["FindingCache"] = None,
+    ) -> List[Finding]:
+        """Lint ``paths``; findings are sorted and suppression-filtered.
+
+        ``targets`` (incremental mode) restricts the *check* pass to the
+        named files while the collect pass still covers every discovered
+        file, so cross-file rules keep their whole-program facts.  When a
+        ``cache`` is given, a target whose mtime/size/configuration
+        fingerprint matches the cached entry is served from it without
+        re-running the check pass.
+        """
         files = self.discover(paths)
         contexts: List[FileContext] = []
         findings: List[Finding] = []
+        target_set: Optional[set[str]] = None
+        if targets is not None:
+            target_set = {_relpath(Path(t)) for t in targets}
         for path in files:
             rel = _relpath(path)
             try:
@@ -127,7 +147,15 @@ class LintEngine:
                 if severity is not Severity.OFF:
                     rule.collect(ctx, project)
 
+        # codes whose rules actually ran: a pragma for a deselected rule
+        # is out of scope, not stale (simflow shares pragma syntax with
+        # simlint, so each front end only judges its own codes)
+        active_codes = {
+            rule.code for rule, severity in active if severity is not Severity.OFF
+        }
         for ctx in contexts:
+            if target_set is not None and ctx.relpath not in target_set:
+                continue
             if ctx.parse_error is not None:
                 err = ctx.parse_error
                 findings.append(Finding(
@@ -137,24 +165,41 @@ class LintEngine:
                     rule_name="parse-error",
                 ))
                 continue
+            if cache is not None:
+                cached = cache.lookup(ctx.path, ctx.relpath)
+                if cached is not None:
+                    findings.extend(cached)
+                    continue
+            file_findings: List[Finding] = []
             for rule, severity in active:
                 if severity is Severity.OFF:
                     continue
                 for finding in rule.check(ctx, project, self.config):
-                    finding.severity = severity
+                    # a configured override beats everything; otherwise a
+                    # rule may emit individual findings below its default
+                    # severity (SL011/SL014 downgrade heuristic cases)
+                    if severity is not rule.default_severity:
+                        finding.severity = severity
                     if ctx.suppressions.suppresses(finding.code, finding.line):
                         continue
-                    findings.append(finding)
+                    file_findings.append(finding)
             sl008 = self.config.severity_for("SL008", Severity.ERROR)
             if sl008 is not Severity.OFF:
-                for sup in ctx.suppressions.unused():
-                    codes = "all rules" if "*" in sup.codes else ",".join(sorted(sup.codes))
-                    findings.append(Finding(
-                        code="SL008",
-                        message=f"unused suppression ({codes}): nothing to silence on this line",
-                        path=ctx.relpath, line=sup.line, severity=sl008,
-                        rule_name="unused-suppression",
-                    ))
+                for sup, stale in ctx.suppressions.unused(active_codes):
+                    for code in stale:
+                        label = "all rules" if code == ALL_CODES else code
+                        file_findings.append(Finding(
+                            code="SL008",
+                            message=(
+                                f"unused suppression ({label}): nothing "
+                                f"to silence on this line"
+                            ),
+                            path=ctx.relpath, line=sup.line, severity=sl008,
+                            rule_name="unused-suppression",
+                        ))
+            if cache is not None:
+                cache.store(ctx.path, ctx.relpath, file_findings)
+            findings.extend(file_findings)
         findings.sort(key=Finding.sort_key)
         return findings
 

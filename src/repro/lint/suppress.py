@@ -31,17 +31,35 @@ _PRAGMA = re.compile(
 
 
 class Suppression:
-    """One pragma comment: the line it covers and the codes it silences."""
+    """One pragma comment: the line it covers and the codes it silences.
+
+    Usage is tracked *per code*: in a comma-separated multi-rule pragma
+    (``# simlint: disable=SL003,SL014``) each code earns its keep
+    independently, so a stale code is reported by SL008 even when its
+    neighbours still silence findings on the line.
+    """
 
     __slots__ = ("line", "codes", "used")
 
     def __init__(self, line: int, codes: Set[str]) -> None:
         self.line = line
         self.codes = codes  # {"SL001", ...} or {ALL_CODES}
-        self.used = False
+        self.used: Set[str] = set()  # codes that actually silenced a finding
 
     def matches(self, code: str) -> bool:
         return ALL_CODES in self.codes or code in self.codes
+
+    def unused_codes(self, active: Optional[Set[str]] = None) -> List[str]:
+        """Codes this pragma names that silenced nothing, restricted to
+        ``active`` (the rules that actually ran) when given.  A bare
+        ``disable`` pragma reports as ``[ALL_CODES]`` when wholly unused.
+        """
+        if ALL_CODES in self.codes:
+            return [] if self.used else [ALL_CODES]
+        stale = self.codes - self.used
+        if active is not None:
+            stale &= active
+        return sorted(stale)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Suppression line={self.line} codes={sorted(self.codes)}>"
@@ -72,19 +90,28 @@ class SuppressionIndex:
         return cls(pragmas)
 
     def suppresses(self, code: str, line: int) -> bool:
-        """True (and marks the pragma used) when ``code`` at ``line`` is
-        silenced.  SL008 is exempt: a pragma cannot silence the report
-        of its own uselessness."""
+        """True (and marks the matched code used) when ``code`` at
+        ``line`` is silenced.  SL008 is exempt: a pragma cannot silence
+        the report of its own staleness."""
         if code == "SL008":
             return False
         sup = self._by_line.get(line)
         if sup is not None and sup.matches(code):
-            sup.used = True
+            sup.used.add(code)
             return True
         return False
 
-    def unused(self) -> List[Suppression]:
-        return [s for s in self._by_line.values() if not s.used]
+    def unused(self, active: Optional[Set[str]] = None) -> List[Tuple[Suppression, List[str]]]:
+        """``(pragma, stale codes)`` for every pragma naming at least one
+        code that silenced nothing.  ``active`` restricts the judgement
+        to rules that actually ran — a pragma for a deselected rule is
+        not stale, it was simply out of scope for this run."""
+        out: List[Tuple[Suppression, List[str]]] = []
+        for sup in self._by_line.values():
+            stale = sup.unused_codes(active)
+            if stale:
+                out.append((sup, stale))
+        return out
 
     def __len__(self) -> int:
         return len(self._by_line)

@@ -13,6 +13,7 @@ from repro.obs.ledger import NULL_CONTEXT, NULL_LEDGER
 from repro.lustre.mds import Inode
 from repro.lustre.ost import Ost
 from repro.sim.flownet import Link
+from repro.units import Bytes
 
 __all__ = ["LustreClient", "LustreFile"]
 
@@ -191,7 +192,7 @@ class LustreClient:
         op_ctx.note_transfer(flow)
 
     def _stripe_map(
-        self, handle: LustreFile, offset: int, nbytes: int
+        self, handle: LustreFile, offset: Bytes, nbytes: Bytes
     ) -> List[Tuple[Ost, int, int, int, int]]:
         """Split a byte range into (ost, stripe_obj_index, chunk_idx,
         in_chunk_offset, length) pieces following the round-robin layout."""
@@ -292,7 +293,7 @@ class LustreClient:
             if self._obs is not None:
                 self._m_lat_w.observe(self.sim.now - start)
 
-    def read(self, handle: LustreFile, offset: int, nbytes: int) -> Generator:
+    def read(self, handle: LustreFile, offset: Bytes, nbytes: Bytes) -> Generator:
         """Read; returns bytes (zeros for holes / non-materialised data)."""
         if not handle.open:
             raise InvalidArgumentError("read on closed handle")

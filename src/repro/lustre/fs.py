@@ -10,7 +10,7 @@ from repro.hardware.cluster import Cluster, ServerNode
 from repro.lustre.mds import MetadataServer
 from repro.lustre.ost import Ost
 from repro.sim.randomness import stable_hash64
-from repro.units import MiB
+from repro.units import Bytes, MiB
 
 __all__ = ["LustreParams", "LustreFilesystem"]
 
@@ -31,7 +31,7 @@ class LustreParams:
     mds_capacity: float = 160_000.0
     protocol_efficiency: float = 0.94
     default_stripe_count: int = 1
-    default_stripe_size: int = MiB
+    default_stripe_size: Bytes = MiB
     #: client sequential read-ahead depth (Lustre llite readahead)
     readahead_depth: int = 4
 

@@ -14,6 +14,7 @@ from typing import Dict, List, Optional
 
 from repro.errors import ExistsError, InvalidArgumentError, NotFoundError
 from repro.sim.flownet import Link
+from repro.units import Bytes
 
 __all__ = ["Inode", "MetadataServer"]
 
@@ -29,9 +30,9 @@ class Inode:
     inode_id: int = field(default_factory=lambda: next(_inode_ids))
     mode: int = 0o644
     stripe_count: int = 1
-    stripe_size: int = 1 << 20
+    stripe_size: Bytes = 1 << 20
     ost_indices: List[int] = field(default_factory=list)
-    size: int = 0
+    size: Bytes = 0
     children: Optional[Dict[str, "Inode"]] = None
 
     def __post_init__(self) -> None:
@@ -85,7 +86,7 @@ class MetadataServer:
         is_dir: bool,
         mode: int,
         stripe_count: int,
-        stripe_size: int,
+        stripe_size: Bytes,
         ost_indices: List[int],
     ) -> Inode:
         parent, name = self._parent_of(path)

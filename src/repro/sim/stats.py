@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.errors import SimulationError
+from repro.units import Bytes, BytesPerSec, EventsPerSec, Seconds
 
 __all__ = ["PhaseRecorder", "PhaseStats", "mean_std"]
 
@@ -24,12 +25,12 @@ class PhaseStats:
     """Aggregate of one benchmark phase across all processes."""
 
     name: str
-    bytes: int = 0
+    bytes: Bytes = 0
     ops: int = 0
     #: operations that ended in unrecoverable data loss (fault runs)
     lost_ops: int = 0
-    first_start: float = math.inf
-    last_end: float = -math.inf
+    first_start: Seconds = math.inf
+    last_end: Seconds = -math.inf
     #: per-record durations (only meaningful for per-op records, i.e.
     #: exact-mode runs; aggregate batches contribute one entry per batch)
     latencies: list = field(default_factory=list)
@@ -62,20 +63,20 @@ class PhaseStats:
         return sum(self.latencies) / len(self.latencies)
 
     @property
-    def elapsed(self) -> float:
+    def elapsed(self) -> Seconds:
         """First-op-start to last-op-end window (the paper's denominator)."""
         if self.last_end < self.first_start:
             return 0.0
         return self.last_end - self.first_start
 
     @property
-    def bandwidth(self) -> float:
+    def bandwidth(self) -> BytesPerSec:
         """Bytes per second over the phase window; 0 if the phase is empty."""
         dt = self.elapsed
         return self.bytes / dt if dt > 0 else 0.0
 
     @property
-    def iops(self) -> float:
+    def iops(self) -> EventsPerSec:
         """Operations per second over the phase window."""
         dt = self.elapsed
         return self.ops / dt if dt > 0 else 0.0
@@ -102,7 +103,7 @@ class PhaseRecorder:
             self._phases[name] = stats
         return stats
 
-    def record(self, phase: str, start: float, end: float, nbytes: int, ops: int = 1) -> None:
+    def record(self, phase: str, start: Seconds, end: Seconds, nbytes: Bytes, ops: int = 1) -> None:
         """Record one I/O (or one batch of ``ops`` I/Os) in ``phase``."""
         if end < start:
             raise SimulationError(f"I/O record ends before it starts ({start} > {end})")
@@ -117,7 +118,7 @@ class PhaseRecorder:
         if self.keep_records:
             self._records.setdefault(phase, []).append((start, end, int(nbytes)))
 
-    def record_lost(self, phase: str, start: float, end: float, ops: int = 1) -> None:
+    def record_lost(self, phase: str, start: Seconds, end: Seconds, ops: int = 1) -> None:
         """Record operations that failed with unrecoverable data loss.
 
         The elapsed time still extends the phase window (the process
@@ -182,11 +183,11 @@ class PhaseRecorder:
     def get(self, phase: str) -> Optional[PhaseStats]:
         return self._phases.get(phase)
 
-    def bandwidth(self, phase: str) -> float:
+    def bandwidth(self, phase: str) -> BytesPerSec:
         stats = self._phases.get(phase)
         return stats.bandwidth if stats else 0.0
 
-    def iops(self, phase: str) -> float:
+    def iops(self, phase: str) -> EventsPerSec:
         stats = self._phases.get(phase)
         return stats.iops if stats else 0.0
 

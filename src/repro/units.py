@@ -8,6 +8,18 @@ so configuration and reporting read like the paper (``1 MiB`` I/O,
 
 from __future__ import annotations
 
+# Dimension aliases for annotations.  At runtime these are plain
+# ``int``/``float`` — zero cost, zero behaviour change — but simflow's
+# SL014 checker reads them as dimension declarations and propagates
+# bytes/seconds/rates through model arithmetic, flagging mismatched
+# additions and comparisons.  Annotate quantities with these instead of
+# bare ``int``/``float`` wherever the unit is meaningful.
+Bytes = int
+Seconds = float
+BytesPerSec = float
+EventsPerSec = float
+Dimensionless = float
+
 KiB: int = 1024
 MiB: int = 1024**2
 GiB: int = 1024**3

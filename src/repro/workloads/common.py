@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, Optional
+from typing import Any, Dict, Generator, List, Optional
 
 from repro.ceph.monitor import CephCluster
 from repro.ceph.rados import RadosClient
@@ -15,7 +15,7 @@ from repro.errors import ConfigError, DataLossError
 from repro.hardware.cluster import ClientNode, Cluster
 from repro.lustre.client import LustreClient
 from repro.lustre.fs import LustreFilesystem
-from repro.units import MiB
+from repro.units import Bytes, MiB
 
 __all__ = ["WorkloadConfig", "DaosEnv", "LustreEnv", "CephEnv"]
 
@@ -36,7 +36,7 @@ class WorkloadConfig:
     n_client_nodes: int
     ppn: int
     ops_per_process: int = 64
-    op_size: int = MiB
+    op_size: Bytes = MiB
     mode: str = "aggregate"
     batches: int = 2
     write_phase: bool = True
@@ -56,7 +56,7 @@ class WorkloadConfig:
         if self.batches < 1 or self.batches > self.ops_per_process:
             raise ConfigError("batches must be in 1..ops_per_process")
 
-    def with_(self, **kwargs) -> "WorkloadConfig":
+    def with_(self, **kwargs: Any) -> "WorkloadConfig":
         return replace(self, **kwargs)
 
     @property
@@ -98,7 +98,7 @@ class PhasedRunner:
     :meth:`read_op`, :meth:`serial_per_op`, and :meth:`batch_flow`.
     """
 
-    def __init__(self, env, cfg: "WorkloadConfig", recorder=None):
+    def __init__(self, env: Any, cfg: "WorkloadConfig", recorder: Any = None) -> None:
         from repro.sim.stats import PhaseRecorder
         from repro.workloads.mpi import RankWorld
 
@@ -129,22 +129,22 @@ class PhasedRunner:
             }
 
     # -- per-benchmark hooks -------------------------------------------------
-    def setup(self, rank):
+    def setup(self, rank: Any) -> Generator[Any, Any, Any]:
         raise NotImplementedError
 
-    def write_op(self, state, op_index: int):
+    def write_op(self, state: Any, op_index: int) -> Generator[Any, Any, None]:
         raise NotImplementedError
 
-    def read_op(self, state, op_index: int):
+    def read_op(self, state: Any, op_index: int) -> Generator[Any, Any, None]:
         raise NotImplementedError
 
-    def serial_per_op(self, node, phase: str) -> float:
+    def serial_per_op(self, node: Any, phase: str) -> float:
         raise NotImplementedError
 
-    def batch_flow(self, node, states, phase: str, ops: int):
+    def batch_flow(self, node: Any, states: Any, phase: str, ops: int) -> Generator[Any, Any, None]:
         raise NotImplementedError
 
-    def end_phase(self, state, phase: str):
+    def end_phase(self, state: Any, phase: str) -> Generator[Any, Any, None]:
         """Optional per-rank epilogue inside the phase window (e.g. an
         FDB flush); exact mode only."""
         return
@@ -159,15 +159,15 @@ class PhasedRunner:
             controller.mark_phase(phase)
 
     # -- skeleton ------------------------------------------------------------------
-    def phases(self):
-        out = []
+    def phases(self) -> List[str]:
+        out: List[str] = []
         if self.cfg.write_phase:
             out.append("write")
         if self.cfg.read_phase:
             out.append("read")
         return out
 
-    def _rank_main(self, rank):
+    def _rank_main(self, rank: Any) -> Generator[Any, Any, None]:
         cfg = self.cfg
         obs = self._obs
         tid = obs.node_tid(rank.node) if obs is not None else 0
@@ -204,18 +204,18 @@ class PhasedRunner:
                 obs.tracer.finish(span)
             yield self.phase_barrier.wait()
 
-    def setup_group(self, node, ranks):
+    def setup_group(self, node: Any, ranks: Any) -> Generator[Any, Any, Any]:
         """Aggregate-mode setup hook; defaults to per-rank :meth:`setup`.
         Runners with expensive per-rank setup flows override this to
         batch the metadata traffic (setup is outside the measured
         bandwidth window either way)."""
-        states = []
+        states: List[Any] = []
         for rank in ranks:
             state = yield from self.setup(rank)
             states.append(state)
         return states
 
-    def _group_main(self, node, ranks):
+    def _group_main(self, node: Any, ranks: Any) -> Generator[Any, Any, None]:
         cfg = self.cfg
         obs = self._obs
         tid = obs.node_tid(node) if obs is not None else 0
@@ -251,7 +251,7 @@ class PhasedRunner:
                 obs.tracer.finish(span)
             yield self.phase_barrier.wait()
 
-    def run(self):
+    def run(self) -> Any:
         if self.cfg.mode == "exact":
             self.world.run(self._rank_main)
         else:
@@ -268,8 +268,8 @@ class DaosEnv:
         pool: Optional[Pool] = None,
         jitter_sigma: float = 0.02,
         dfuse_params: Optional[DfuseParams] = None,
-        retry_policy=None,
-    ):
+        retry_policy: Any = None,
+    ) -> None:
         self.cluster = cluster
         self.pool = pool or Pool(cluster)
         self.jitter_sigma = jitter_sigma
@@ -279,7 +279,7 @@ class DaosEnv:
         self._clients: Dict[int, DaosClient] = {}
         self._dfuse: Dict[int, DfuseMount] = {}
         self._il: Dict[int, InterceptedMount] = {}
-        self._posix_container = None
+        self._posix_container: Any = None
 
     def client(self, node: ClientNode) -> DaosClient:
         c = self._clients.get(node.index)
@@ -292,7 +292,7 @@ class DaosEnv:
             self._clients[node.index] = c
         return c
 
-    def posix_container(self, dir_class: str = "SX", file_class: str = "SX"):
+    def posix_container(self, dir_class: str = "SX", file_class: str = "SX") -> Any:
         """The shared container DFUSE mounts expose (created lazily)."""
         if self._posix_container is None:
             self._posix_container = self.pool.create_container(
@@ -326,7 +326,7 @@ class DaosEnv:
 class LustreEnv:
     """Lustre deployment + per-node client cache."""
 
-    def __init__(self, cluster: Cluster, fs: Optional[LustreFilesystem] = None, jitter_sigma: float = 0.02):
+    def __init__(self, cluster: Cluster, fs: Optional[LustreFilesystem] = None, jitter_sigma: float = 0.02) -> None:
         self.cluster = cluster
         self.fs = fs or LustreFilesystem(cluster)
         self.jitter_sigma = jitter_sigma
@@ -343,7 +343,7 @@ class LustreEnv:
 class CephEnv:
     """Ceph deployment + per-node librados client cache."""
 
-    def __init__(self, cluster: Cluster, ceph: Optional[CephCluster] = None, jitter_sigma: float = 0.02):
+    def __init__(self, cluster: Cluster, ceph: Optional[CephCluster] = None, jitter_sigma: float = 0.02) -> None:
         self.cluster = cluster
         self.ceph = ceph or CephCluster(cluster)
         self.jitter_sigma = jitter_sigma

@@ -10,7 +10,7 @@ provides the aggregate fast path for the figure harness.
 
 from __future__ import annotations
 
-from typing import Dict, Generator, List, Optional
+from typing import Any, Dict, Generator, List, Optional
 
 from repro.errors import ConfigError
 from repro.fdb.daos_backend import FdbDaosBackend
@@ -19,7 +19,7 @@ from repro.fdb.posix_backend import INDEX_ENTRY_SIZE, FdbPosixBackend
 from repro.fdb.rados_backend import FdbRadosBackend
 from repro.fdb.schema import key_sequence
 from repro.sim.stats import PhaseRecorder
-from repro.units import MiB
+from repro.units import Bytes, MiB
 from repro.workloads.common import CephEnv, DaosEnv, LustreEnv, PhasedRunner, WorkloadConfig
 from repro.workloads.ior import engine_request_ops, uniform_target_charges
 from repro.workloads.mpi import Rank
@@ -35,24 +35,24 @@ KV_VALUE_SIZE = 24
 class _FdbRunnerBase(PhasedRunner):
     """Shared shape: per-rank FDB session + key sequence."""
 
-    def _keys(self, rank: int) -> List:
+    def _keys(self, rank: int) -> List[Any]:
         return list(key_sequence(self.cfg.ops_per_process, member=rank))
 
-    def make_backend(self, rank: Rank):
+    def make_backend(self, rank: Rank) -> Any:
         raise NotImplementedError
 
-    def setup(self, rank: Rank) -> Generator:
+    def setup(self, rank: Rank) -> Generator[Any, Any, Any]:
         fdb = FDB(self.make_backend(rank))
         yield from fdb.open(writer=True)
         return {"fdb": fdb, "keys": self._keys(rank.rank), "rank": rank.rank}
 
-    def write_op(self, state, i: int) -> Generator:
+    def write_op(self, state: Any, i: int) -> Generator[Any, Any, None]:
         yield from state["fdb"].archive(state["keys"][i], nbytes=self.cfg.op_size)
 
-    def read_op(self, state, i: int) -> Generator:
+    def read_op(self, state: Any, i: int) -> Generator[Any, Any, None]:
         yield from state["fdb"].retrieve(state["keys"][i])
 
-    def end_phase(self, state, phase: str) -> Generator:
+    def end_phase(self, state: Any, phase: str) -> Generator[Any, Any, None]:
         if phase == "write":
             yield from state["fdb"].flush()
 
@@ -61,8 +61,8 @@ class _FdbRunnerBase(PhasedRunner):
 
 
 class _FdbDaosRunner(_FdbRunnerBase):
-    def __init__(self, env: DaosEnv, cfg: WorkloadConfig, recorder=None,
-                 array_class: str = "S1", kv_class: Optional[str] = None):
+    def __init__(self, env: DaosEnv, cfg: WorkloadConfig, recorder: Any = None,
+                 array_class: str = "S1", kv_class: Optional[str] = None) -> None:
         # paper Sec. III-B: S1 Arrays and S1 KVs; the redundancy runs
         # (Fig. 6) override with EC_2P1 Arrays and RP_2 KVs
         super().__init__(env, cfg, recorder)
@@ -79,7 +79,7 @@ class _FdbDaosRunner(_FdbRunnerBase):
             materialize=False,
         )
 
-    def serial_per_op(self, node, phase: str) -> float:
+    def serial_per_op(self, node: Any, phase: str) -> float:
         client = self.env.client(node)
         p = client.params
         rtt = p.rpc_rtt + p.client_io_overhead
@@ -90,7 +90,7 @@ class _FdbDaosRunner(_FdbRunnerBase):
         # no size check on read: the locator carries the field size
         return per_op * client.jitter
 
-    def batch_flow(self, node, states: List, phase: str, ops: int) -> Generator:
+    def batch_flow(self, node: Any, states: List[Any], phase: str, ops: int) -> Generator[Any, Any, None]:
         kind = "write" if phase == "write" else "read"
         client = self.env.client(node)
         cfg = self.cfg
@@ -102,7 +102,7 @@ class _FdbDaosRunner(_FdbRunnerBase):
         charges = uniform_target_charges(self.env.pool, data_bytes)
         req = engine_request_ops(charges, ops * n_ranks)
 
-        def merge(loads) -> None:
+        def merge(loads: Any) -> None:
             c, e = loads
             for t, nb in c.items():
                 charges[t] = charges.get(t, 0.0) + nb
@@ -133,9 +133,9 @@ class _FdbLustreRunner(_FdbRunnerBase):
     #: MDS requests per retrieved field: open(index)=2, open(data)=2
     MDS_OPS_PER_READ = 4.0
 
-    def __init__(self, env: LustreEnv, cfg: WorkloadConfig, recorder=None,
-                 stripe_count: int = 8, stripe_size: int = 8 * MiB,
-                 buffer_size: int = 8 * MiB):
+    def __init__(self, env: LustreEnv, cfg: WorkloadConfig, recorder: Any = None,
+                 stripe_count: int = 8, stripe_size: Bytes = 8 * MiB,
+                 buffer_size: Bytes = 8 * MiB) -> None:
         super().__init__(env, cfg, recorder)
         self.stripe_count = min(stripe_count, env.fs.n_osts)
         self.stripe_size = stripe_size
@@ -153,7 +153,7 @@ class _FdbLustreRunner(_FdbRunnerBase):
             },
         )
 
-    def serial_per_op(self, node, phase: str) -> float:
+    def serial_per_op(self, node: Any, phase: str) -> float:
         client = self.env.client(node)
         p = client.params
         rtt = p.rpc_rtt + p.client_io_overhead
@@ -164,11 +164,11 @@ class _FdbLustreRunner(_FdbRunnerBase):
         # read: open index + read + open data + read + closes
         return (self.MDS_OPS_PER_READ + 2) * rtt * client.jitter
 
-    def batch_flow(self, node, states: List, phase: str, ops: int) -> Generator:
+    def batch_flow(self, node: Any, states: List[Any], phase: str, ops: int) -> Generator[Any, Any, None]:
         kind = "write" if phase == "write" else "read"
         client = self.env.client(node)
         cfg = self.cfg
-        per_ost: Dict = {}
+        per_ost: Dict[Any, float] = {}
         mds_ops = 0.0
         for state in states:
             backend: FdbPosixBackend = state["fdb"].backend
@@ -186,7 +186,7 @@ class _FdbLustreRunner(_FdbRunnerBase):
                 mds_ops += ops * self.MDS_OPS_PER_READ
         yield from client.bulk_transfer(kind, per_ost, mds_ops=mds_ops, name=f"fdb-{phase}")
 
-    def setup(self, rank: Rank) -> Generator:
+    def setup(self, rank: Rank) -> Generator[Any, Any, Any]:
         state = yield from super().setup(rank)
         if self.cfg.mode == "aggregate":
             # register the keys' locators so read-phase lookups resolve
@@ -202,7 +202,7 @@ class _FdbLustreRunner(_FdbRunnerBase):
 
 
 class _FdbRadosRunner(_FdbRunnerBase):
-    def __init__(self, env: CephEnv, cfg: WorkloadConfig, recorder=None, pg_num: int = 1024):
+    def __init__(self, env: CephEnv, cfg: WorkloadConfig, recorder: Any = None, pg_num: int = 1024) -> None:
         super().__init__(env, cfg, recorder)
         self.pg_num = pg_num
 
@@ -214,19 +214,19 @@ class _FdbRadosRunner(_FdbRunnerBase):
             materialize=False,
         )
 
-    def serial_per_op(self, node, phase: str) -> float:
+    def serial_per_op(self, node: Any, phase: str) -> float:
         client = self.env.client(node)
         p = client.params
         rtt = p.rpc_rtt + p.client_io_overhead
         # object write/read + omap index op
         return 2 * rtt * client.jitter
 
-    def batch_flow(self, node, states: List, phase: str, ops: int) -> Generator:
+    def batch_flow(self, node: Any, states: List[Any], phase: str, ops: int) -> Generator[Any, Any, None]:
         kind = "write" if phase == "write" else "read"
         client = self.env.client(node)
         cfg = self.cfg
-        per_osd: Dict = {}
-        ops_by_osd: Dict = {}
+        per_osd: Dict[Any, float] = {}
+        ops_by_osd: Dict[Any, float] = {}
         for state in states:
             backend: FdbRadosBackend = state["fdb"].backend
             pool = backend.pool
@@ -261,11 +261,11 @@ _RUNNERS = {
 
 
 def run_fdb_hammer(
-    env,
+    env: Any,
     cfg: WorkloadConfig,
     backend: str,
     recorder: Optional[PhaseRecorder] = None,
-    **kwargs,
+    **kwargs: Any,
 ) -> PhaseRecorder:
     """Execute one fdb-hammer run over the chosen FDB backend."""
     try:

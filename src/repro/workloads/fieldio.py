@@ -16,7 +16,7 @@ operation**, which fdb-hammer avoids.
 
 from __future__ import annotations
 
-from typing import Dict, Generator, List, Optional
+from typing import Any, Dict, Generator, List, Optional
 
 from repro.daos.pool import Target
 from repro.errors import ConfigError, NotFoundError
@@ -41,18 +41,18 @@ class FieldIoRunner(PhasedRunner):
     container_label = "fieldio"
     array_class = "S1"
 
-    def __init__(self, env: DaosEnv, cfg: WorkloadConfig, recorder=None):
+    def __init__(self, env: DaosEnv, cfg: WorkloadConfig, recorder: Any = None) -> None:
         super().__init__(env, cfg, recorder)
-        self._shared_kvs = None
+        self._shared_kvs: Optional[List[Any]] = None
 
-    def _container(self):
+    def _container(self) -> Any:
         pool = self.env.pool
         try:
             return pool.get_container(self.container_label)
         except NotFoundError:
             return pool.create_container(self.container_label, materialize=False)
 
-    def _ensure_shared_kvs(self, cont):
+    def _ensure_shared_kvs(self, cont: Any) -> List[Any]:
         # synchronous functional creation: concurrent ranks must agree on
         # the shared KVs, so no yields between check and registration
         if self._shared_kvs is None:
@@ -61,7 +61,7 @@ class FieldIoRunner(PhasedRunner):
             ]
         return self._shared_kvs
 
-    def setup(self, rank: Rank) -> Generator:
+    def setup(self, rank: Rank) -> Generator[Any, Any, Any]:
         client = self.env.client(rank.node)
         cont = self._container()
         shared = self._ensure_shared_kvs(cont)
@@ -78,7 +78,7 @@ class FieldIoRunner(PhasedRunner):
         }
 
     # -- exact mode ---------------------------------------------------------------
-    def write_op(self, state, i: int) -> Generator:
+    def write_op(self, state: Any, i: int) -> Generator[Any, Any, None]:
         client = state["client"]
         arr = yield from client.create_array(
             state["cont"], oc=self.array_class, chunk_size=self.cfg.op_size
@@ -91,7 +91,7 @@ class FieldIoRunner(PhasedRunner):
         for e in range(EXCLUSIVE_KV_OPS):
             yield from client.kv_put(state["index"], f"{tag}.e{e}", b"\x02" * KV_VALUE_SIZE)
 
-    def read_op(self, state, i: int) -> Generator:
+    def read_op(self, state: Any, i: int) -> Generator[Any, Any, None]:
         client = state["client"]
         arr = state["arrays"][i]
         tag = f"f{state['rank']}.{i}"
@@ -104,7 +104,7 @@ class FieldIoRunner(PhasedRunner):
         yield from client.array_read(arr, 0, size)
 
     # -- aggregate mode --------------------------------------------------------------
-    def serial_per_op(self, node, phase: str) -> float:
+    def serial_per_op(self, node: Any, phase: str) -> float:
         client = self.env.client(node)
         p = client.params
         rtt = p.rpc_rtt + p.client_io_overhead
@@ -116,7 +116,7 @@ class FieldIoRunner(PhasedRunner):
             per_op += rtt  # the per-field array create
         return per_op * client.jitter
 
-    def batch_flow(self, node, states: List, phase: str, ops: int) -> Generator:
+    def batch_flow(self, node: Any, states: List[Any], phase: str, ops: int) -> Generator[Any, Any, None]:
         kind = "write" if phase == "write" else "read"
         client = self.env.client(node)
         cfg = self.cfg
@@ -126,7 +126,7 @@ class FieldIoRunner(PhasedRunner):
         charges: Dict[Target, float] = uniform_target_charges(self.env.pool, data_bytes)
         req = engine_request_ops(charges, ops * n_ranks)
         kv_kind = "put" if phase == "write" else "get"
-        def merge(loads) -> None:
+        def merge(loads: Any) -> None:
             c, e = loads
             for t, nb in c.items():
                 charges[t] = charges.get(t, 0.0) + nb

@@ -21,7 +21,7 @@ Supported APIs (the series of Figs. 1-6):
 
 from __future__ import annotations
 
-from typing import Dict, Generator, List, Optional
+from typing import Any, Dict, Generator, List, Optional
 
 from repro.ceph.rados import CephPool
 from repro.daos.pool import Pool, Target
@@ -52,10 +52,10 @@ def uniform_target_charges(pool: Pool, nbytes: float) -> Dict[Target, float]:
     return {t: share for t in targets}
 
 
-def engine_request_ops(charges: Dict[Target, float], total_ops: float) -> Dict:
+def engine_request_ops(charges: Dict[Target, float], total_ops: float) -> Dict[Any, float]:
     """Distribute request slots over engines proportional to byte share."""
     total = sum(charges.values())
-    ops: Dict = {}
+    ops: Dict[Any, float] = {}
     if total <= 0:
         return ops
     for target, nbytes in charges.items():
@@ -70,7 +70,7 @@ class _IorRunner(PhasedRunner):
     #: whether this API implements IOR's single-shared-file layout
     supports_shared = False
 
-    def __init__(self, env, cfg, recorder=None):
+    def __init__(self, env: Any, cfg: WorkloadConfig, recorder: Any = None) -> None:
         super().__init__(env, cfg, recorder)
         if cfg.shared_file and not self.supports_shared:
             raise ConfigError(
@@ -85,20 +85,20 @@ class _DaosIor(_IorRunner):
     container_label = "ior-daos"
     supports_shared = True
 
-    def __init__(self, env, cfg, recorder=None):
+    def __init__(self, env: Any, cfg: WorkloadConfig, recorder: Any = None) -> None:
         super().__init__(env, cfg, recorder)
         # per-(array, kind) unit charge profiles; bulk_charges is linear
         # in nbytes, so each profile is computed once and scaled per batch
-        self._unit_charges: Dict[tuple, Dict[Target, float]] = {}
+        self._unit_charges: Dict[Any, Dict[Target, float]] = {}
         #: per-state segment base offset (shared-file mode)
         self._base: Dict[int, int] = {}
-        self._shared_array = None
+        self._shared_array: Any = None
 
     def _segment_base(self, rank: Rank) -> int:
         """IOR segmented layout: rank r owns [r*blocksize, (r+1)*blocksize)."""
         return rank.rank * self.cfg.bytes_per_process if self.cfg.shared_file else 0
 
-    def _rank_array(self, rank: Rank):
+    def _rank_array(self, rank: Rank) -> Any:
         cont = _once_container(self.env.pool, self.container_label)
         if self.cfg.shared_file:
             if self._shared_array is None:
@@ -108,7 +108,7 @@ class _DaosIor(_IorRunner):
             return self._shared_array
         return cont.new_array(self.cfg.object_class, chunk_size=self.cfg.op_size)
 
-    def setup(self, rank: Rank) -> Generator:
+    def setup(self, rank: Rank) -> Generator[Any, Any, Any]:
         client = self.env.client(rank.node)
         cont = _once_container(self.env.pool, self.container_label)
         arr = self._rank_array(rank)
@@ -118,7 +118,7 @@ class _DaosIor(_IorRunner):
         self._base[id(state)] = self._segment_base(rank)
         return state
 
-    def setup_group(self, node, ranks) -> Generator:
+    def setup_group(self, node: Any, ranks: Any) -> Generator[Any, Any, Any]:
         """Batched creates: one md flow for the whole rank group."""
         client = self.env.client(node)
         cont = _once_container(self.env.pool, self.container_label)
@@ -133,25 +133,25 @@ class _DaosIor(_IorRunner):
         )
         return states
 
-    def write_op(self, state, i: int) -> Generator:
+    def write_op(self, state: Any, i: int) -> Generator[Any, Any, None]:
         client, arr = state
         offset = self._base.get(id(state), 0) + i * self.cfg.op_size
         yield from client.array_write(arr, offset, nbytes=self.cfg.op_size)
 
-    def read_op(self, state, i: int) -> Generator:
+    def read_op(self, state: Any, i: int) -> Generator[Any, Any, None]:
         client, arr = state
         offset = self._base.get(id(state), 0) + i * self.cfg.op_size
         yield from client.array_read(arr, offset, self.cfg.op_size)
 
-    def serial_per_op(self, node, phase: str) -> float:
+    def serial_per_op(self, node: Any, phase: str) -> float:
         client = self.env.client(node)
         p = client.params
         return (p.rpc_rtt + p.client_io_overhead) * client.jitter
 
-    def _array_of(self, state):
+    def _array_of(self, state: Any) -> Any:
         return state[1]
 
-    def _charges(self, states, phase: str, ops: int) -> Dict[Target, float]:
+    def _charges(self, states: Any, phase: str, ops: int) -> Dict[Target, float]:
         kind = "write" if phase == "write" else "read"
         nbytes = ops * self.cfg.op_size
         charges: Dict[Target, float] = {}
@@ -168,7 +168,7 @@ class _DaosIor(_IorRunner):
                 charges[target] = charges.get(target, 0.0) + nb * nbytes
         return charges
 
-    def batch_flow(self, node, states, phase: str, ops: int) -> Generator:
+    def batch_flow(self, node: Any, states: Any, phase: str, ops: int) -> Generator[Any, Any, None]:
         kind = "write" if phase == "write" else "read"
         client = self.env.client(node)
         charges = self._charges(states, phase, ops)
@@ -179,7 +179,7 @@ class _DaosIor(_IorRunner):
         yield from client.bulk_transfer(kind, charges, req, demand_cap=cap, name=f"ior-{phase}")
 
 
-def _once_container(pool: Pool, label: str, **props):
+def _once_container(pool: Pool, label: str, **props: Any) -> Any:
     """Create-or-get a shared container (functional; setup is outside the
     measured window, see module docstring)."""
     try:
@@ -192,12 +192,12 @@ def _once_container(pool: Pool, label: str, **props):
 
 
 class _DfsIor(_DaosIor):
-    def __init__(self, env, cfg, recorder=None):
+    def __init__(self, env: Any, cfg: WorkloadConfig, recorder: Any = None) -> None:
         super().__init__(env, cfg, recorder)
         self._dfs_by_node: Dict[int, object] = {}
         self.dfs_overhead = 3e-6  # libdfs wrapper cost over raw libdaos
 
-    def _dfs(self, node) -> Generator:
+    def _dfs(self, node: Any) -> Generator[Any, Any, Any]:
         dfs = self._dfs_by_node.get(node.index)
         if dfs is None:
             from repro.dfs.dfs import Dfs
@@ -213,7 +213,7 @@ class _DfsIor(_DaosIor):
             self._dfs_by_node[node.index] = dfs
         return dfs
 
-    def setup(self, rank: Rank) -> Generator:
+    def setup(self, rank: Rank) -> Generator[Any, Any, Any]:
         dfs = yield from self._dfs(rank.node)
         path = "/ior.shared" if self.cfg.shared_file else f"/ior.{rank.rank}"
         if self.cfg.shared_file:
@@ -228,23 +228,23 @@ class _DfsIor(_DaosIor):
         self._base[id(state)] = self._segment_base(rank)
         return state
 
-    def write_op(self, state, i: int) -> Generator:
+    def write_op(self, state: Any, i: int) -> Generator[Any, Any, None]:
         dfs, fh = state
         offset = self._base.get(id(state), 0) + i * self.cfg.op_size
         yield from dfs.write(fh, offset, nbytes=self.cfg.op_size)
 
-    def read_op(self, state, i: int) -> Generator:
+    def read_op(self, state: Any, i: int) -> Generator[Any, Any, None]:
         dfs, fh = state
         offset = self._base.get(id(state), 0) + i * self.cfg.op_size
         yield from dfs.read(fh, offset, self.cfg.op_size)
 
-    def serial_per_op(self, node, phase: str) -> float:
+    def serial_per_op(self, node: Any, phase: str) -> float:
         return super().serial_per_op(node, phase) + self.dfs_overhead
 
-    def _array_of(self, state):
+    def _array_of(self, state: Any) -> Any:
         return state[1].array
 
-    def setup_group(self, node, ranks) -> Generator:
+    def setup_group(self, node: Any, ranks: Any) -> Generator[Any, Any, Any]:
         """Batched file creates: entries land in the root KV functionally,
         charged as one md flow (setup is outside the measured window)."""
         from repro.dfs.dfs import DfsFile
@@ -279,7 +279,7 @@ class _DfsIor(_DaosIor):
         yield from client._md_flow(engines, name="dfs-setup")
         return states
 
-    def _group_state(self, dfs, node, path, arr):
+    def _group_state(self, dfs: Any, node: Any, path: str, arr: Any) -> Any:
         from repro.dfs.dfs import DfsFile
 
         return (dfs, DfsFile(dfs, path, arr, 0o644))
@@ -291,24 +291,24 @@ class _DfsIor(_DaosIor):
 class _PosixIor(_DfsIor):
     intercepted = False
 
-    def _mount(self, node):
+    def _mount(self, node: Any) -> Any:
         mount = self.env.dfuse(node, file_class=self.cfg.object_class)
         if self.intercepted:
             return self.env.il(node, file_class=self.cfg.object_class)
         return mount
 
-    def _dfs(self, node) -> Generator:
+    def _dfs(self, node: Any) -> Generator[Any, Any, Any]:
         mount = self.env.dfuse(node, file_class=self.cfg.object_class)
         if mount.dfs.root is None:
             yield from mount.mount()
         return mount.dfs
 
-    def _group_state(self, dfs, node, path, arr):
+    def _group_state(self, dfs: Any, node: Any, path: str, arr: Any) -> Any:
         from repro.dfs.dfs import DfsFile
 
         return (self._mount(node), DfsFile(dfs, path, arr, 0o644))
 
-    def setup(self, rank: Rank) -> Generator:
+    def setup(self, rank: Rank) -> Generator[Any, Any, Any]:
         mount = self._mount(rank.node)
         if mount.dfs.root is None:
             yield from mount.mount()
@@ -322,24 +322,24 @@ class _PosixIor(_DfsIor):
         self._base[id(state)] = self._segment_base(rank)
         return state
 
-    def write_op(self, state, i: int) -> Generator:
+    def write_op(self, state: Any, i: int) -> Generator[Any, Any, None]:
         mount, fh = state
         offset = self._base.get(id(state), 0) + i * self.cfg.op_size
         yield from mount.write(fh, offset, nbytes=self.cfg.op_size)
 
-    def read_op(self, state, i: int) -> Generator:
+    def read_op(self, state: Any, i: int) -> Generator[Any, Any, None]:
         mount, fh = state
         offset = self._base.get(id(state), 0) + i * self.cfg.op_size
         yield from mount.read(fh, offset, self.cfg.op_size)
 
-    def serial_per_op(self, node, phase: str) -> float:
+    def serial_per_op(self, node: Any, phase: str) -> float:
         base = _DaosIor.serial_per_op(self, node, phase)
         params = self.env.dfuse_params
         if self.intercepted:
             return base + params.il_overhead
         return base + params.kernel_crossing
 
-    def batch_flow(self, node, states, phase: str, ops: int) -> Generator:
+    def batch_flow(self, node: Any, states: Any, phase: str, ops: int) -> Generator[Any, Any, None]:
         kind = "write" if phase == "write" else "read"
         client = self.env.client(node)
         charges = self._charges(states, phase, ops)
@@ -364,11 +364,11 @@ class _PosixIlIor(_PosixIor):
 
 
 class _Hdf5PosixIor(_IorRunner):
-    def __init__(self, env, cfg, recorder=None):
+    def __init__(self, env: Any, cfg: WorkloadConfig, recorder: Any = None) -> None:
         super().__init__(env, cfg, recorder)
         self.h5 = Hdf5PosixParams()
 
-    def setup(self, rank: Rank) -> Generator:
+    def setup(self, rank: Rank) -> Generator[Any, Any, Any]:
         mount = self.env.dfuse(rank.node, file_class=self.cfg.object_class)
         il = self.env.il(rank.node, file_class=self.cfg.object_class)
         if mount.dfs.root is None:
@@ -377,7 +377,7 @@ class _Hdf5PosixIor(_IorRunner):
         yield from h5file.create()
         return h5file
 
-    def setup_group(self, node, ranks) -> Generator:
+    def setup_group(self, node: Any, ranks: Any) -> Generator[Any, Any, Any]:
         """Batched H5Fcreate: files and superblocks registered
         functionally, charged as one md flow."""
         from repro.dfs.dfs import DfsFile
@@ -404,14 +404,14 @@ class _Hdf5PosixIor(_IorRunner):
         yield from client._md_flow(engines, name="h5-setup")
         return states
 
-    def write_op(self, state, i: int) -> Generator:
+    def write_op(self, state: Any, i: int) -> Generator[Any, Any, None]:
         yield from state.write_op(i, self.cfg.op_size)
 
-    def read_op(self, state, i: int) -> Generator:
+    def read_op(self, state: Any, i: int) -> Generator[Any, Any, None]:
         data = yield from state.read_op(i, self.cfg.op_size)
         del data
 
-    def serial_per_op(self, node, phase: str) -> float:
+    def serial_per_op(self, node: Any, phase: str) -> float:
         client = self.env.client(node)
         p = client.params
         dparams = self.env.dfuse_params
@@ -420,7 +420,7 @@ class _Hdf5PosixIor(_IorRunner):
         md_leg = md_ops * (dparams.kernel_crossing + p.rpc_rtt + p.client_io_overhead)
         return (self.h5.format_overhead + data_leg + md_leg) * client.jitter
 
-    def batch_flow(self, node, states, phase: str, ops: int) -> Generator:
+    def batch_flow(self, node: Any, states: Any, phase: str, ops: int) -> Generator[Any, Any, None]:
         kind = "write" if phase == "write" else "read"
         client = self.env.client(node)
         cfg = self.cfg
@@ -449,16 +449,16 @@ class _Hdf5PosixIor(_IorRunner):
 
 
 class _Hdf5DaosIor(_IorRunner):
-    def __init__(self, env, cfg, recorder=None):
+    def __init__(self, env: Any, cfg: WorkloadConfig, recorder: Any = None) -> None:
         super().__init__(env, cfg, recorder)
         self.vol_params = Hdf5VolParams(object_class=cfg.object_class, chunk_size=cfg.op_size)
 
-    def setup(self, rank: Rank) -> Generator:
+    def setup(self, rank: Rank) -> Generator[Any, Any, Any]:
         vol = Hdf5DaosVol(self.env.client(rank.node), params=self.vol_params)
         file = yield from vol.create_file(f"h5vol.{rank.rank}")
         return (vol, file)
 
-    def setup_group(self, node, ranks) -> Generator:
+    def setup_group(self, node: Any, ranks: Any) -> Generator[Any, Any, Any]:
         """Batched H5Fcreate: containers registered functionally, all
         create commits charged as one pool-service flow."""
         from repro.hdf5.daos_vol import Hdf5VolFile
@@ -474,15 +474,15 @@ class _Hdf5DaosIor(_IorRunner):
         yield from client._md_flow({}, rsvc_ops=rsvc, name="h5vol-setup")
         return states
 
-    def write_op(self, state, i: int) -> Generator:
+    def write_op(self, state: Any, i: int) -> Generator[Any, Any, None]:
         vol, file = state
         yield from vol.write_op(file, i, self.cfg.op_size)
 
-    def read_op(self, state, i: int) -> Generator:
+    def read_op(self, state: Any, i: int) -> Generator[Any, Any, None]:
         vol, file = state
         yield from vol.read_op(file, i, self.cfg.op_size)
 
-    def serial_per_op(self, node, phase: str) -> float:
+    def serial_per_op(self, node: Any, phase: str) -> float:
         client = self.env.client(node)
         p = client.params
         # format work + the object create/open round trip per dataset op
@@ -491,7 +491,7 @@ class _Hdf5DaosIor(_IorRunner):
             + 2 * (p.rpc_rtt + p.client_io_overhead)
         ) * client.jitter
 
-    def batch_flow(self, node, states, phase: str, ops: int) -> Generator:
+    def batch_flow(self, node: Any, states: Any, phase: str, ops: int) -> Generator[Any, Any, None]:
         kind = "write" if phase == "write" else "read"
         client = self.env.client(node)
         cfg = self.cfg
@@ -517,7 +517,8 @@ class _Hdf5DaosIor(_IorRunner):
 class _LustreIor(_IorRunner):
     supports_shared = True
 
-    def __init__(self, env, cfg, recorder=None, stripe_count=None, stripe_size=None):
+    def __init__(self, env: Any, cfg: WorkloadConfig, recorder: Any = None,
+                 stripe_count: Optional[int] = None, stripe_size: Optional[int] = None) -> None:
         super().__init__(env, cfg, recorder)
         self.stripe_count = stripe_count or min(16, env.fs.n_osts)
         self.stripe_size = stripe_size or cfg.op_size
@@ -527,7 +528,7 @@ class _LustreIor(_IorRunner):
     def _segment_base(self, rank: Rank) -> int:
         return rank.rank * self.cfg.bytes_per_process if self.cfg.shared_file else 0
 
-    def setup(self, rank: Rank) -> Generator:
+    def setup(self, rank: Rank) -> Generator[Any, Any, Any]:
         client = self.env.client(rank.node)
         if self.cfg.shared_file:
             if not self._shared_created:
@@ -547,27 +548,27 @@ class _LustreIor(_IorRunner):
         self._base[id(state)] = self._segment_base(rank)
         return state
 
-    def write_op(self, state, i: int) -> Generator:
+    def write_op(self, state: Any, i: int) -> Generator[Any, Any, None]:
         client, fh = state
         offset = self._base.get(id(state), 0) + i * self.cfg.op_size
         yield from client.write(
             fh, offset, nbytes=self.cfg.op_size, materialize=False
         )
 
-    def read_op(self, state, i: int) -> Generator:
+    def read_op(self, state: Any, i: int) -> Generator[Any, Any, None]:
         client, fh = state
         offset = self._base.get(id(state), 0) + i * self.cfg.op_size
         yield from client.read(fh, offset, self.cfg.op_size)
 
-    def serial_per_op(self, node, phase: str) -> float:
+    def serial_per_op(self, node: Any, phase: str) -> float:
         client = self.env.client(node)
         p = client.params
         return (p.rpc_rtt + p.client_io_overhead) * client.jitter
 
-    def batch_flow(self, node, states, phase: str, ops: int) -> Generator:
+    def batch_flow(self, node: Any, states: Any, phase: str, ops: int) -> Generator[Any, Any, None]:
         kind = "write" if phase == "write" else "read"
         client = self.env.client(node)
-        per_ost: Dict = {}
+        per_ost: Dict[Any, float] = {}
         for _, fh in states:
             share = ops * self.cfg.op_size / len(fh.osts)
             for ost in fh.osts:
@@ -584,7 +585,7 @@ class _LustreIor(_IorRunner):
 
 
 class _RadosIor(_IorRunner):
-    def __init__(self, env, cfg, recorder=None, pg_num=1024):
+    def __init__(self, env: Any, cfg: WorkloadConfig, recorder: Any = None, pg_num: int = 1024) -> None:
         super().__init__(env, cfg, recorder)
         if cfg.bytes_per_process > env.ceph.params.max_object_size:
             raise ConfigError(
@@ -595,7 +596,7 @@ class _RadosIor(_IorRunner):
         self.pg_num = pg_num
         self._pool: Optional[CephPool] = None
 
-    def _pool_once(self, client) -> Generator:
+    def _pool_once(self, client: Any) -> Generator[Any, Any, Any]:
         if self._pool is None:
             # functional registration is synchronous; the monitor round
             # trip (open_pool) is charged afterwards
@@ -603,31 +604,31 @@ class _RadosIor(_IorRunner):
         pool = yield from client.open_pool("ior")
         return pool
 
-    def setup(self, rank: Rank) -> Generator:
+    def setup(self, rank: Rank) -> Generator[Any, Any, Any]:
         client = self.env.client(rank.node)
         if not client.connected:
             yield from client.connect()
         pool = yield from self._pool_once(client)
         return (client, pool, f"ior.obj.{rank.rank}")
 
-    def write_op(self, state, i: int) -> Generator:
+    def write_op(self, state: Any, i: int) -> Generator[Any, Any, None]:
         client, pool, obj = state
         yield from client.write(pool, obj, i * self.cfg.op_size, nbytes=self.cfg.op_size)
 
-    def read_op(self, state, i: int) -> Generator:
+    def read_op(self, state: Any, i: int) -> Generator[Any, Any, None]:
         client, pool, obj = state
         yield from client.read(pool, obj, i * self.cfg.op_size, self.cfg.op_size)
 
-    def serial_per_op(self, node, phase: str) -> float:
+    def serial_per_op(self, node: Any, phase: str) -> float:
         client = self.env.client(node)
         p = client.params
         return (p.rpc_rtt + p.client_io_overhead) * client.jitter
 
-    def batch_flow(self, node, states, phase: str, ops: int) -> Generator:
+    def batch_flow(self, node: Any, states: Any, phase: str, ops: int) -> Generator[Any, Any, None]:
         kind = "write" if phase == "write" else "read"
         client = self.env.client(node)
-        per_osd: Dict = {}
-        ops_by_osd: Dict = {}
+        per_osd: Dict[Any, float] = {}
+        ops_by_osd: Dict[Any, float] = {}
         for _, pool, obj in states:
             primary = pool.pgmap.primary(obj)
             per_osd[primary] = per_osd.get(primary, 0.0) + ops * self.cfg.op_size
@@ -658,11 +659,11 @@ _RUNNERS = {
 
 
 def run_ior(
-    env,
+    env: Any,
     cfg: WorkloadConfig,
     api: str,
     recorder: Optional[PhaseRecorder] = None,
-    **kwargs,
+    **kwargs: Any,
 ) -> PhaseRecorder:
     """Execute one IOR run; returns the phase recorder with write/read
     stats per the paper's bandwidth definition."""

@@ -12,7 +12,7 @@ simulation process.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Generator, List
+from typing import Any, Callable, Generator, List
 
 from repro.errors import ConfigError
 from repro.hardware.cluster import ClientNode, Cluster
@@ -36,7 +36,7 @@ class Rank:
 class RankWorld:
     """Rank placement + phase barrier for one benchmark execution."""
 
-    def __init__(self, cluster: Cluster, n_nodes: int, ppn: int):
+    def __init__(self, cluster: Cluster, n_nodes: int, ppn: int) -> None:
         if n_nodes < 1 or ppn < 1:
             raise ConfigError(f"need >= 1 node and >= 1 ppn, got {n_nodes}x{ppn}")
         if n_nodes > len(cluster.clients):
@@ -68,13 +68,13 @@ class RankWorld:
     def barrier(self, parties: int, name: str = "phase") -> Barrier:
         return Barrier(self.cluster.sim, parties, name=name)
 
-    def run(self, rank_main: Callable[[Rank], Generator]) -> None:
+    def run(self, rank_main: Callable[[Rank], Generator[Any, Any, None]]) -> None:
         """Spawn one simulation process per rank and run to completion."""
         for rank in self.ranks:
             self.cluster.sim.process(rank_main(rank), name=rank.name)
         self.cluster.sim.run()
 
-    def run_groups(self, group_main: Callable[[ClientNode, List[Rank]], Generator]) -> None:
+    def run_groups(self, group_main: Callable[[ClientNode, List[Rank]], Generator[Any, Any, None]]) -> None:
         """Aggregate mode: one simulation process per client node, each
         driving that node's whole rank group."""
         for node in self.nodes:

@@ -14,9 +14,10 @@ itself, not from constants pasted into the harness.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any, Dict, Generator
 
 from repro.hardware.cluster import Cluster
-from repro.units import MiB
+from repro.units import Bytes, MiB
 
 __all__ = ["DdResult", "measure_dd", "measure_iperf"]
 
@@ -31,7 +32,7 @@ def measure_dd(
     cluster: Cluster,
     server_index: int = 0,
     blocks: int = 10,
-    block_size: int = 100 * MiB,
+    block_size: Bytes = 100 * MiB,
 ) -> DdResult:
     """Parallel dd over every NVMe device of one server node.
 
@@ -43,13 +44,13 @@ def measure_dd(
     sim = cluster.sim
     net = cluster.net
     nbytes = blocks * block_size
-    results = {}
+    results: Dict[str, float] = {}
 
-    def phase(kind: str):
+    def phase(kind: str) -> None:
         done = {"count": 0}
         t0 = sim.now
 
-        def dd_proc(device):
+        def dd_proc(device: Any) -> Generator[Any, Any, None]:
             link = device.write_link if kind == "write" else device.read_link
             agg = node.ssd_agg_w if kind == "write" else node.ssd_agg_r
             flow = net.transfer(nbytes, [(link, 1.0), (agg, 1.0)], name=f"dd-{kind}")
@@ -71,7 +72,7 @@ def measure_iperf(
     cluster: Cluster,
     client_index: int = 0,
     server_index: int = 0,
-    nbytes: int = 1024 * MiB,
+    nbytes: Bytes = 1024 * MiB,
 ) -> float:
     """One bulk TCP stream client -> server; returns achieved bytes/s."""
     client = cluster.clients[client_index]
@@ -79,7 +80,7 @@ def measure_iperf(
     sim = cluster.sim
     t0 = sim.now
 
-    def stream():
+    def stream() -> Generator[Any, Any, None]:
         flow = cluster.net.transfer(
             nbytes, [(client.nic_tx, 1.0), (server.nic_rx, 1.0)], name="iperf"
         )

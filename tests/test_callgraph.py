@@ -1,0 +1,246 @@
+"""Call-graph builder: tricky constructs must resolve (or degrade to a
+conservative dynamic mark) without crashing."""
+
+import ast
+import textwrap
+
+import pytest
+
+from repro.analysis.callgraph import (
+    ProjectGraph,
+    module_name_for,
+    package_role,
+)
+
+
+def build(files):
+    graph = ProjectGraph()
+    for rel, src in files.items():
+        graph.add_module_once(rel, ast.parse(textwrap.dedent(src)))
+    graph.resolve()
+    return graph
+
+
+def calls_of(graph, qualname):
+    return graph.functions[qualname].calls
+
+
+def targets_of(graph, qualname):
+    out = set()
+    for site in calls_of(graph, qualname):
+        out.update(site.targets)
+    return out
+
+
+# ----------------------------------------------------------- basics
+
+
+def test_module_name_strips_src_and_init():
+    assert module_name_for("src/repro/sim/core.py") == "repro.sim.core"
+    assert module_name_for("sim/core.py") == "sim.core"
+    assert module_name_for("src/repro/obs/__init__.py") == "repro.obs"
+
+
+def test_package_role_classification():
+    assert package_role("src/repro/sim/core.py") == "model"
+    assert package_role("daos/client.py") == "model"
+    assert package_role("src/repro/obs/metrics.py") == "obs"
+    assert package_role("harness/cli.py") == "other"
+
+
+def test_plain_call_and_method_resolution():
+    graph = build({"sim/a.py": """
+        class Engine:
+            def step(self):
+                return self.tick()
+
+            def tick(self):
+                return 1
+
+        def run(engine: Engine):
+            engine.step()
+    """})
+    assert "sim.a.Engine.tick" in targets_of(graph, "sim.a.Engine.step")
+    assert "sim.a.Engine.step" in targets_of(graph, "sim.a.run")
+
+
+def test_constructor_call_targets_init():
+    graph = build({"sim/a.py": """
+        class Engine:
+            def __init__(self):
+                self.t = 0
+
+        def make():
+            return Engine()
+    """})
+    assert "sim.a.Engine.__init__" in targets_of(graph, "sim.a.make")
+
+
+def test_base_class_method_resolved_through_inheritance():
+    graph = build({"sim/a.py": """
+        class Base:
+            def step(self):
+                return 0
+
+        class Derived(Base):
+            def run(self):
+                self.step()
+    """})
+    assert "sim.a.Base.step" in targets_of(graph, "sim.a.Derived.run")
+
+
+# ------------------------------------------------- tricky constructs
+
+
+def test_nested_function_qualname_and_resolution():
+    graph = build({"sim/a.py": """
+        def outer():
+            def inner():
+                return 1
+            return inner()
+    """})
+    assert "sim.a.outer.<locals>.inner" in graph.functions
+    assert "sim.a.outer.<locals>.inner" in targets_of(graph, "sim.a.outer")
+
+
+def test_functools_wraps_decorated_function_still_resolves():
+    graph = build({"sim/a.py": """
+        import functools
+
+        def timed(fn):
+            @functools.wraps(fn)
+            def wrapper(*args, **kwargs):
+                return fn(*args, **kwargs)
+            return wrapper
+
+        @timed
+        def step():
+            return 1
+
+        def run():
+            return step()
+    """})
+    info = graph.functions["sim.a.step"]
+    assert info.decorators == ["timed"]
+    assert "sim.a.step" in targets_of(graph, "sim.a.run")
+
+
+def test_property_getter_and_setter_registered():
+    graph = build({"sim/a.py": """
+        class Engine:
+            @property
+            def now(self):
+                return self._now
+
+            @now.setter
+            def now(self, value):
+                self._now = value
+    """})
+    cls = graph.classes["sim.a.Engine"]
+    assert "now" in cls.methods
+    assert "now.setter" in cls.methods
+    assert cls.methods["now"].is_property
+    assert cls.methods["now.setter"].is_setter
+
+
+def test_lambda_probe_callback_gets_synthetic_name():
+    graph = build({"sim/a.py": """
+        def attach(sim):
+            sim.time_probe = lambda t: t
+    """})
+    registered = [info.qualname for info in graph.callback_functions()]
+    assert any("<lambda#" in q for q in registered)
+
+
+def test_named_probe_and_transfer_callbacks_registered():
+    graph = build({"sim/a.py": """
+        def on_tick(t):
+            return t
+
+        def log_transfer(flow):
+            return flow
+
+        def attach(sim, net):
+            sim.time_probe = on_tick
+            net.on_transfer.append(log_transfer)
+    """})
+    registered = {info.qualname for info in graph.callback_functions()}
+    assert "sim.a.on_tick" in registered
+    assert "sim.a.log_transfer" in registered
+
+
+def test_dynamic_getattr_call_marked_not_crashed():
+    graph = build({"sim/a.py": """
+        def dispatch(obj, name):
+            return getattr(obj, name)()
+    """})
+    sites = calls_of(graph, "sim.a.dispatch")
+    assert any(site.dynamic for site in sites)
+
+
+def test_class_with_dunder_getattr_is_conservative():
+    graph = build({"sim/a.py": """
+        class Proxy:
+            def __getattr__(self, name):
+                return lambda: None
+
+        def poke(p: Proxy):
+            p.anything()
+    """})
+    assert graph.classes["sim.a.Proxy"].has_dynamic_getattr
+    sites = calls_of(graph, "sim.a.poke")
+    assert any(site.dynamic for site in sites)
+
+
+def test_attr_type_inferred_from_ctor_assignment():
+    graph = build({"sim/a.py": """
+        class Engine:
+            def tick(self):
+                return 1
+
+        class Holder:
+            def __init__(self):
+                self.engine = Engine()
+
+            def go(self):
+                self.engine.tick()
+    """})
+    assert "sim.a.Engine.tick" in targets_of(graph, "sim.a.Holder.go")
+
+
+def test_unresolvable_and_stdlib_calls_do_not_crash():
+    graph = build({"sim/a.py": """
+        import os
+
+        def f(x):
+            os.path.join("a", "b")
+            x.whatever()
+            unknown_function()
+    """})
+    # nothing resolved, nothing raised
+    assert "sim.a.f" in graph.functions
+
+
+def test_add_module_once_is_idempotent():
+    src = "def f():\n    return 1\n"
+    graph = ProjectGraph()
+    graph.add_module_once("sim/a.py", ast.parse(src))
+    graph.add_module_once("sim/a.py", ast.parse(src))
+    graph.resolve()
+    assert list(graph.functions) == ["sim.a.f"]
+
+
+def test_resolve_is_idempotent():
+    graph = build({"sim/a.py": """
+        def g():
+            return 1
+
+        def f():
+            return g()
+    """})
+    before = {q: [list(s.targets) for s in i.calls]
+              for q, i in graph.functions.items()}
+    graph.resolve()
+    after = {q: [list(s.targets) for s in i.calls]
+             for q, i in graph.functions.items()}
+    assert before == after

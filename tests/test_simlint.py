@@ -691,6 +691,107 @@ def test_cli_list_rules(capsys):
         assert code in out
 
 
+# -------------------------------------- per-code pragma accounting
+
+
+def test_multi_code_pragma_reports_only_stale_codes(lint):
+    # SL002 fires and is silenced; SL006 never fires on that line, so
+    # exactly that code is reported stale -- not the whole pragma
+    findings = lint({"model.py": """
+        import random  # simlint: disable=SL002,SL006
+    """})
+    assert codes(findings) == ["SL008"]
+    assert "SL006" in findings[0].message
+    assert "SL002" not in findings[0].message
+
+
+def test_multi_code_pragma_all_stale_reports_each_code(lint):
+    findings = lint({"model.py": """
+        x = 1  # simlint: disable=SL001,SL003
+    """})
+    assert codes(findings) == ["SL008", "SL008"]
+    mentioned = {m for f in findings for m in ("SL001", "SL003") if m in f.message}
+    assert mentioned == {"SL001", "SL003"}
+
+
+def test_pragma_for_other_front_ends_code_not_stale(lint):
+    # SL011-SL014 belong to simflow; simlint must not judge them
+    findings = lint({"model.py": """
+        x = 1  # simlint: disable=SL014
+    """})
+    assert findings == []
+
+
+# ----------------------------------------------------- finding cache
+
+
+def test_cache_hits_on_unchanged_file(tmp_path, monkeypatch, capsys):
+    monkeypatch.chdir(tmp_path)
+    _write(tmp_path, "dirty.py", "import random\n")
+    cache = str(tmp_path / "cache.json")
+    argv = ["--no-config", "--cache", "--cache-file", cache, "dirty.py"]
+    assert lint_main(argv) == 1
+    assert "0 hit(s), 1 miss(es)" in capsys.readouterr().out
+    assert lint_main(argv) == 1  # cached findings still gate the exit code
+    assert "1 hit(s), 0 miss(es)" in capsys.readouterr().out
+
+
+def test_cache_invalidated_when_file_changes(tmp_path, monkeypatch, capsys):
+    monkeypatch.chdir(tmp_path)
+    path = _write(tmp_path, "model.py", "import random\n")
+    cache = str(tmp_path / "cache.json")
+    argv = ["--no-config", "--cache", "--cache-file", cache, "model.py"]
+    assert lint_main(argv) == 1
+    capsys.readouterr()
+    path.write_text("def f():\n    return 1\n")
+    assert lint_main(argv) == 0
+    assert "1 miss(es)" in capsys.readouterr().out
+
+
+def test_cache_invalidated_when_config_changes(tmp_path, monkeypatch, capsys):
+    monkeypatch.chdir(tmp_path)
+    _write(tmp_path, "dirty.py", "import random\n")
+    cache = str(tmp_path / "cache.json")
+    assert lint_main(["--no-config", "--cache", "--cache-file", cache, "dirty.py"]) == 1
+    capsys.readouterr()
+    # a different rule selection must not be served from the stale entry
+    assert lint_main([
+        "--no-config", "--cache", "--cache-file", cache,
+        "--ignore", "SL002", "dirty.py",
+    ]) == 0
+    assert "1 miss(es)" in capsys.readouterr().out
+
+
+# ------------------------------------------------------------- SARIF
+
+
+def test_sarif_report_shape(tmp_path, monkeypatch, capsys):
+    monkeypatch.chdir(tmp_path)
+    _write(tmp_path, "dirty.py", "import random\n")
+    assert lint_main(["--no-config", "--sarif", "-", "dirty.py"]) == 1
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["version"] == "2.1.0"
+    run = doc["runs"][0]
+    assert run["tool"]["driver"]["name"] == "simlint"
+    rule_ids = [r["id"] for r in run["tool"]["driver"]["rules"]]
+    assert "SL002" in rule_ids
+    result = run["results"][0]
+    assert result["ruleId"] == "SL002"
+    loc = result["locations"][0]["physicalLocation"]
+    assert loc["artifactLocation"]["uri"].endswith("dirty.py")
+    assert loc["region"]["startLine"] == 1
+
+
+def test_sarif_written_to_file(tmp_path, monkeypatch, capsys):
+    monkeypatch.chdir(tmp_path)
+    _write(tmp_path, "dirty.py", "import random\n")
+    out = tmp_path / "report.sarif"
+    assert lint_main(["--no-config", "--sarif", str(out), "dirty.py"]) == 1
+    capsys.readouterr()
+    doc = json.loads(out.read_text())
+    assert doc["runs"][0]["results"]
+
+
 # ------------------------------------------------- repository gate
 
 

@@ -1,0 +1,20 @@
+#!/usr/bin/env python
+"""Standalone simflow launcher (equivalent to ``python -m repro.analysis``).
+
+Inserts the in-repo ``src/`` onto ``sys.path`` so the whole-program
+checker runs from a fresh checkout with no install step::
+
+    python tools/simflow.py src
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.analysis.cli import main  # noqa: E402
+
+if __name__ == "__main__":
+    raise SystemExit(main())

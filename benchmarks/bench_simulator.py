@@ -100,3 +100,24 @@ def test_figure_scale_ior_point(benchmark):
 
     bw = benchmark.pedantic(run, rounds=3, iterations=1)
     assert bw > 0
+
+
+def test_cohort_scalability_100k_clients(benchmark):
+    """One 10^5-client IOR point in cohort mode: 10 representative
+    nodes, each standing for 10^4 identical ones.  This is the
+    million-client kernel path — event count stays per-batch, so the
+    whole point must run in well under a second."""
+
+    def run():
+        env = DaosEnv(
+            Cluster(n_servers=16, n_clients=10, seed=0), cohort=10_000
+        )
+        cfg = WorkloadConfig(
+            n_client_nodes=10, ppn=1, ops_per_process=64, batches=2,
+            cohort=10_000,
+        )
+        rec = run_ior(env, cfg, "DAOS")
+        return rec.bandwidth("write")
+
+    bw = benchmark.pedantic(run, rounds=5, iterations=1)
+    assert bw > 0

@@ -44,7 +44,31 @@ from repro.sim.core import Interrupt
 from repro.sim.flownet import Link
 from repro.units import Bytes, MiB
 
-__all__ = ["DaosClient"]
+__all__ = ["DaosClient", "cohort_weight"]
+
+#: up to this cohort size shared-link weights use the exact N-fold
+#: sequential sum (bit-identical to N separate flows' per-link weight
+#: accumulation); beyond it a single multiply, whose rounding differs
+#: by at most ~1 ulp — irrelevant at 10^5+ members, where no per-client
+#: reference run exists to compare against anyway
+_EXACT_COHORT_SUM = 4096
+
+
+def cohort_weight(w: float, n: int) -> float:
+    """Aggregate link weight of ``n`` cohort members each weighing ``w``.
+
+    The flow network accumulates per-link weights as a sequential sum
+    over member edges, so the exactness contract (cohort mode ==
+    per-client mode, bit for bit) requires reproducing that fold —
+    ``((w + w) + w) ...`` — rather than computing ``n * w``, which
+    rounds differently for most ``n``.  See docs/PERFORMANCE.md.
+    """
+    if n <= _EXACT_COHORT_SUM:
+        total = 0.0
+        for _ in range(n):
+            total += w
+        return total
+    return n * w
 
 
 class DaosClient:
@@ -58,13 +82,28 @@ class DaosClient:
         name: Optional[str] = None,
         jitter_sigma: float = 0.0,
         retry_policy: Optional[RetryPolicy] = None,
+        cohort: int = 1,
     ):
+        if cohort < 1:
+            raise InvalidArgumentError(f"cohort must be >= 1, got {cohort}")
         self.cluster = cluster
         self.pool = pool
         self.node = node
         self.sim = cluster.sim
         self.net = cluster.net
         self.params: DaosParams = pool.params
+        #: this client stands for ``cohort`` identical clients on
+        #: ``cohort`` identical nodes: every flow it opens carries
+        #: cohort-scaled weights on shared (server-side) links while
+        #: node-local links keep their per-member weight (each member
+        #: node has its own NIC).  The cohort tag also decorrelates the
+        #: RNG streams from a plain per-node client's.
+        self.cohort = cohort
+        #: links private to each cohort member's node — their weights
+        #: are *not* scaled by ``cohort`` (see :meth:`mark_local`)
+        self._local_links = {node.nic_tx, node.nic_rx}
+        if cohort > 1 and name is None:
+            name = f"daos@{node.name}x{cohort}"
         self.name = name or f"daos@{node.name}"
         #: retry/timeout/backoff for data-path ops; the default policy
         #: injects no events on the happy path, so fault-free timing is
@@ -257,6 +296,13 @@ class DaosClient:
                     add(node.ssd_agg_r, nbytes / eff)
         return loads
 
+    def mark_local(self, link: Link) -> None:
+        """Declare ``link`` per-member-node private (a FUSE daemon pool,
+        an extra NIC channel...): cohort mode keeps its per-member weight
+        instead of scaling it by the cohort size, because each of the N
+        represented nodes owns its own copy of the resource."""
+        self._local_links.add(link)
+
     def _transfer(
         self,
         name: str,
@@ -265,10 +311,28 @@ class DaosClient:
         demand_cap: float = float("inf"),
         op_ctx=NULL_CONTEXT,
     ) -> Generator:
-        """Run one flow of ``units`` with the given absolute link loads."""
+        """Run one flow of ``units`` with the given absolute link loads.
+
+        ``units`` / ``demand_cap`` are *per cohort member*; with
+        ``cohort`` N > 1 the weights of shared links are scaled to the
+        N-member aggregate (see :func:`cohort_weight`), so the flow's
+        per-member rate is exactly what each of N symmetric flows would
+        get, while node-local links keep their per-member weight.
+        """
         if units <= 0:
             return
-        usages = [(link, load / units) for link, load in loads.items() if load > 0]
+        n = self.cohort
+        if n == 1:
+            usages = [(link, load / units) for link, load in loads.items() if load > 0]
+        else:
+            usages = []
+            for link, load in loads.items():
+                if load <= 0:
+                    continue
+                w = load / units
+                if link not in self._local_links:
+                    w = cohort_weight(w, n)
+                usages.append((link, w))
         if not usages:
             return
         flow = self.net.transfer(units, usages, demand_cap=demand_cap, name=name)

@@ -72,6 +72,9 @@ class DfuseMount:
         self.fuse_link: Link = net.add_link(
             f"dfuse.{node.name}.{next(_mount_counter)}", self.params.daemon_capacity
         )
+        # every cohort member node runs its own daemon, so the thread
+        # pool is per-member: exempt it from cohort weight scaling
+        dfs.client.mark_local(self.fuse_link)
         #: attribute cache: path -> (kind, size, mode); active when caching
         self._attr_cache: Dict[str, Tuple[int, int, int]] = {}
         #: page cache: (file path, page index) in LRU order; pages are

@@ -55,9 +55,14 @@ __all__ = [
 #: ``executor``/``cache`` top-level fields and the per-figure
 #: ``execution`` record (plan sizes, dedup, executed points); version 3
 #: added the simprof engine fields per figure (``recomputes``,
-#: ``recomputes_per_second``, ``peak_queue_depth``);
-#: ``tools/bench_compare.py`` accepts 1 through 3.
-BENCH_SCHEMA = 3
+#: ``recomputes_per_second``, ``peak_queue_depth``); version 4 changed
+#: ``peak_queue_depth`` to count *live* events only (cancelled
+#: tombstones are compacted away and no longer inflate the peak) and
+#: added ``recomputes_per_event`` (the cohort-scalability kernel
+#: metric: how much flow-solving one event costs on average);
+#: ``tools/bench_compare.py`` accepts 1 through 4 and skips the exact
+#: ``peak_queue_depth`` comparison across the 3<->4 semantic boundary.
+BENCH_SCHEMA = 4
 
 
 def git_sha(short: bool = True) -> str:
@@ -113,6 +118,9 @@ def figure_record(
         rec["recomputes"] = int(profile.recomputes)
         rec["recomputes_per_second"] = (
             profile.recomputes / wall_seconds if wall_seconds > 0 else 0.0
+        )
+        rec["recomputes_per_event"] = (
+            profile.recomputes / events if events > 0 else 0.0
         )
         rec["peak_queue_depth"] = int(profile.queue_depth_peak)
     if execution is not None:

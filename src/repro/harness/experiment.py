@@ -90,8 +90,18 @@ class PointSpec:
     #: fault-plan spec string (see ``docs/FAULTS.md``); "" = no faults.
     #: Stored in canonical form so equal plans hash equally.
     faults: str = ""
+    #: client aggregation: each configured client node stands for this
+    #: many identical nodes (DAOS aggregate mode only; see
+    #: docs/PERFORMANCE.md).  1 = plain per-node simulation.
+    cohort: int = 1
 
     def __post_init__(self) -> None:
+        if self.cohort < 1:
+            raise ConfigError(f"cohort must be >= 1, got {self.cohort}")
+        if self.cohort > 1 and self.store != "daos":
+            raise ConfigError(
+                f"cohort aggregation is DAOS-only, got store {self.store!r}"
+            )
         if self.store not in _STORES:
             raise ConfigError(f"unknown store {self.store!r}")
         if self.workload not in _WORKLOADS:
@@ -116,6 +126,11 @@ class PointSpec:
     @property
     def total_processes(self) -> int:
         return self.n_client_nodes * self.ppn
+
+    @property
+    def modelled_processes(self) -> int:
+        """Client processes the point *represents* (cohort included)."""
+        return self.n_client_nodes * self.ppn * self.cohort
 
 
 @dataclass
@@ -159,15 +174,16 @@ def spec_token(spec: PointSpec) -> str:
     result cache key hash this token.
 
     Later-added fields are skipped at their default (``faults`` at
-    ``""``), so fault-free points keep the token — and therefore the
-    seed and every modelled number — they had before the field existed.
-    Injectivity holds: a non-default value always appears, prefixed by
-    its unique field name.
+    ``""``, ``cohort`` at ``1``), so pre-existing points keep the token
+    — and therefore the seed and every modelled number — they had
+    before the field existed.  Injectivity holds: a non-default value
+    always appears, prefixed by its unique field name.
     """
+    skip_at_default = {"faults": "", "cohort": 1}
     parts = [
         f"{f.name}={getattr(spec, f.name)!r}"
         for f in fields(spec)
-        if not (f.name == "faults" and getattr(spec, f.name) == "")
+        if getattr(spec, f.name) != skip_at_default.get(f.name, object())
     ]
     return "PointSpec(" + ", ".join(parts) + ")"
 
@@ -188,7 +204,7 @@ def _build_env(spec: PointSpec, seed: int):
         n_servers=spec.n_servers, n_clients=spec.n_client_nodes, seed=seed
     )
     if spec.store == "daos":
-        return DaosEnv(cluster)
+        return DaosEnv(cluster, cohort=spec.cohort)
     if spec.store == "lustre":
         return LustreEnv(cluster)
     return CephEnv(cluster)
@@ -233,6 +249,7 @@ def _run_once(spec: PointSpec, seed: int):
         batches=spec.batches,
         object_class=spec.object_class,
         kv_object_class=spec.kv_object_class,
+        cohort=spec.cohort,
     )
     recorder = PhaseRecorder(keep_records=bool(spec.faults))
     if spec.workload == "ior":

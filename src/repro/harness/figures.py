@@ -1032,6 +1032,88 @@ def plan_fig9(scale: str = "quick") -> RunPlan:
     return make_plan("F9", scale, g["reps"], specs, assemble)
 
 
+# ------------------------------------------------------- SC (cohort scalability)
+
+
+def plan_sc(scale: str = "quick") -> RunPlan:
+    """Beyond the paper: client-count scalability via cohort flows.
+
+    The paper's sweeps stop at a few hundred ranks (its Fig. 5 testbed);
+    the ECMWF operational scenario needs 10^5-10^6 concurrent consumers.
+    Cohort mode makes that simulable: each of 10 representative client
+    nodes stands for ``cohort`` identical nodes, so the x-axis sweeps
+    10^2 -> 10^5 modelled clients (10^6 at full scale) while the event
+    count stays per-batch, not per-client.  Bit-exactness of the
+    aggregation is proven at small N by ``tests/test_cohort.py``; the
+    BENCH harness tracks this figure's events/sec and recomputes as the
+    kernel-scalability regression gate (see the CI perf-smoke job).
+    """
+    g = _grids(scale)
+    cohorts = [10, 100, 1000, 10000]
+    if scale == "full":
+        cohorts.append(100000)
+    base = PointSpec(
+        workload="ior", store="daos", api="DAOS",
+        n_servers=16, n_client_nodes=10, ppn=1,
+        ops_per_process=g["ops"],
+    )
+    specs = [base.with_(cohort=c) for c in cohorts]
+
+    def assemble(results: Results) -> FigureResult:
+        points = [results[s] for s in specs]
+        xs = [float(s.modelled_processes) for s in specs]
+
+        def series(phase: str) -> Series:
+            attr = "write_bw" if phase == "write" else "read_bw"
+            return Series(
+                label=phase,
+                xs=xs,
+                means=[getattr(r, attr)[0] / GiB for r in points],
+                stds=[getattr(r, attr)[1] / GiB for r in points],
+            )
+
+        write, read = series("write"), series("read")
+        w_roof = _write_roofline(base.n_servers)
+        checks = [
+            _check_band(
+                "write saturates near the server roofline",
+                write.means[-1], 0.75 * w_roof, w_roof,
+            ),
+            _check(
+                "read outpaces write at every scale",
+                all(r > w for r, w in zip(read.means, write.means)),
+                f"read {read.means[-1]:.1f} vs write {write.means[-1]:.1f} at max",
+            ),
+            _check(
+                "bandwidth non-decreasing up to saturation",
+                all(b >= a * 0.999 for a, b in zip(write.means, write.means[1:]))
+                and all(b >= a * 0.999 for a, b in zip(read.means, read.means[1:])),
+                f"write {write.means} / read {read.means}",
+            ),
+            _check(
+                "saturated: top two client counts within 1%",
+                abs(write.means[-1] - write.means[-2]) <= 0.01 * write.means[-1]
+                and abs(read.means[-1] - read.means[-2]) <= 0.01 * read.means[-1],
+                f"write tail {write.means[-2]:.2f} -> {write.means[-1]:.2f}",
+            ),
+        ]
+        return FigureResult(
+            fig_id="SC",
+            title=f"Scalability: IOR/DAOS, 16 servers, 10^2-10^{5 if scale == 'quick' else 6} cohort clients",
+            xlabel="modelled client processes",
+            panels={"scalability": [write, read]},
+            paper_expectation=(
+                "bandwidth rises with client count until the 16 servers "
+                "saturate (write at the SSD roofline, read network-bound "
+                "above it), then stays flat to 10^5+ clients — the regime "
+                "the paper's testbed could not reach"
+            ),
+            checks=checks,
+        )
+
+    return make_plan("SC", scale, g["reps"], specs, assemble)
+
+
 #: figure id -> planner.  Planners are cheap and pure: they enumerate
 #: specs and close over the assembly logic without running anything.
 FIGURES: Dict[str, Callable[[str], RunPlan]] = {
@@ -1049,6 +1131,7 @@ FIGURES: Dict[str, Callable[[str], RunPlan]] = {
     "F8": plan_fig8,
     "CIOR": plan_ceph_ior,
     "F9": plan_fig9,
+    "SC": plan_sc,
 }
 
 

@@ -2,7 +2,13 @@
 
 The kernel is a classic calendar-queue discrete-event simulator:
 
-- :class:`Simulator` owns the clock and a binary-heap event calendar.
+- :class:`Simulator` owns the clock and a hybrid event calendar: a
+  FIFO lane for zero-delay events (the overwhelmingly common case —
+  every signal fire and process start schedules at the current time)
+  plus a binary heap for everything in the future.  Zero-delay events
+  are appended in sequence order, so the FIFO head is always its
+  minimum and the next event overall is the lesser ``(time, seq)`` of
+  the two heads; dispatch order is identical to a single global heap.
 - :class:`Process` wraps a Python generator.  The generator ``yield``\\ s
   *waitables* — :class:`Timeout`, :class:`Signal`, another
   :class:`Process`, or :class:`AllOf`/:class:`AnyOf` combinators — and is
@@ -24,6 +30,8 @@ failed future).
 from __future__ import annotations
 
 import heapq
+import math
+from collections import deque
 from typing import Any, Callable, Generator, Iterable, Optional
 
 from repro.errors import SimulationError
@@ -55,22 +63,54 @@ class Interrupt(Exception):
 
 
 class EventHandle:
-    """A scheduled callback; supports O(1) cancellation (lazy deletion)."""
+    """A scheduled callback; supports O(1) cancellation (lazy deletion).
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+    A cancelled handle is tombstoned in place and skipped when it
+    surfaces; the owning :class:`Simulator` counts pending tombstones so
+    it can compact the calendar when more than half of it is dead (see
+    :meth:`Simulator.run`) and so its queue-depth accounting reports
+    live events only.
+    """
+
+    __slots__ = ("time", "seq", "fn", "args", "cancelled", "sim")
 
     def __init__(
-        self, time: float, seq: int, fn: Callable[..., Any], args: tuple[Any, ...]
+        self,
+        time: float,
+        seq: int,
+        fn: Callable[..., Any],
+        args: tuple[Any, ...],
+        sim: "Optional[Simulator]" = None,
     ) -> None:
         self.time = time
         self.seq = seq
         self.fn = fn
         self.args = args
         self.cancelled = False
+        #: back-reference while the event is pending; cleared on dispatch
+        #: (or first cancel) so late cancels of executed events are no-ops
+        self.sim = sim
 
     def cancel(self) -> None:
         """Prevent the callback from running; safe to call twice."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        sim = self.sim
+        if sim is not None:
+            # Still pending: it leaves the live population now and turns
+            # into a tombstone the calendar will skip (or compact away).
+            self.sim = None
+            sim._live -= 1
+            tombstones = sim._tombstones + 1
+            sim._tombstones = tombstones
+            # Compact once tombstones outnumber live heap entries: one
+            # O(n) sweep + heapify instead of log-cost lazy pops, and the
+            # calendar's memory stays proportional to live events.
+            # Checking here (tombstones only grow on cancel) keeps the
+            # test out of the dispatch hot path.
+            if tombstones >= sim._COMPACT_MIN and tombstones * 2 > len(sim._heap):
+                sim._compact()
 
     def __lt__(self, other: "EventHandle") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
@@ -339,10 +379,24 @@ class Simulator:
     per SL003 comparisons against them use :func:`math.isclose`.)
     """
 
+    #: tombstone compaction threshold: never rebuild heaps smaller than
+    #: this (the O(n) sweep would dominate) — see :meth:`_compact`
+    _COMPACT_MIN = 64
+
     def __init__(self) -> None:
         self.now: float = 0.0
         self._heap: list[EventHandle] = []
+        #: zero-delay lane: events scheduled at the current time, in seq
+        #: order (appended with nondecreasing (time, seq), so the head
+        #: is always the lane's minimum)
+        self._fifo: deque[EventHandle] = deque()
         self._seq: int = 0
+        #: pending events that are neither dispatched nor cancelled
+        self._live: int = 0
+        #: high-water mark of ``_live`` over the simulator's lifetime
+        self._live_peak: int = 0
+        #: cancelled handles still sitting in the calendar
+        self._tombstones: int = 0
         self._failures: list[tuple[Process, BaseException]] = []
         self._joined: set[int] = set()
         #: optional :class:`repro.obs.MetricsRegistry`; purely passive —
@@ -373,8 +427,19 @@ class Simulator:
         if delay < 0:
             raise SimulationError(f"cannot schedule in the past (delay={delay})")
         self._seq += 1
-        handle = EventHandle(self.now + delay, self._seq, fn, args)
-        heapq.heappush(self._heap, handle)
+        live = self._live + 1
+        self._live = live
+        if live > self._live_peak:
+            self._live_peak = live
+        if delay == 0.0:  # exact: only a literal 0.0 delay takes the FIFO lane
+            # Fast path: no heap churn for the dominant zero-delay case
+            # (signal fires, process starts).  FIFO order == (time, seq)
+            # order because time is the nondecreasing clock.
+            handle = EventHandle(self.now, self._seq, fn, args, self)
+            self._fifo.append(handle)
+        else:
+            handle = EventHandle(self.now + delay, self._seq, fn, args, self)
+            heapq.heappush(self._heap, handle)
         return handle
 
     def process(self, gen: ProcessGenerator, name: str = "") -> Process:
@@ -407,27 +472,52 @@ class Simulator:
         process exception that no other process observed via a join.
         """
         heap = self._heap
+        fifo = self._fifo
         executed = 0
-        heap_peak = len(heap)
         probe = self.time_probe
         profile = self.profile
-        while heap:
-            if len(heap) > heap_peak:
-                heap_peak = len(heap)
-            handle = heap[0]
-            if until is not None and handle.time > until:
+        heappop = heapq.heappop
+        limit = math.inf if until is None else until
+        while heap or fifo:
+            # The global next event is the lesser (time, seq) of the two
+            # lane heads (each head is its lane's minimum).
+            if not fifo:
+                handle = heap[0]
+                from_heap = True
+            elif not heap:
+                handle = fifo[0]
+                from_heap = False
+            else:
+                handle = heap[0]
+                head = fifo[0]
+                ht = handle.time
+                ft = head.time
+                # exact: equal-time lane heads tie-break on seq
+                from_heap = ht < ft or (ht == ft and handle.seq < head.seq)
+                if not from_heap:
+                    handle = head
+            t = handle.time
+            if t > limit:
                 if probe is not None and until > self.now:
                     probe(until)
                 self.now = until
                 break
-            heapq.heappop(heap)
+            if from_heap:
+                heappop(heap)
+            else:
+                fifo.popleft()
             if handle.cancelled:
+                self._tombstones -= 1
                 continue
-            if handle.time < self.now - 1e-12:
+            handle.sim = None
+            self._live -= 1
+            now = self.now
+            if t > now:
+                if probe is not None:
+                    probe(t)
+                self.now = t
+            elif t < now - 1e-12:
                 raise SimulationError("event time went backwards")
-            if probe is not None and handle.time > self.now:
-                probe(handle.time)
-            self.now = max(self.now, handle.time)
             executed += 1
             if profile is None:
                 handle.fn(*handle.args)
@@ -437,7 +527,7 @@ class Simulator:
             if until is not None:
                 self.now = max(self.now, until)
         if profile is not None:
-            profile.note_run(heap_peak)
+            profile.note_run(self._live_peak)
         if self.metrics is not None:
             self.metrics.counter(
                 "sim.events_executed", unit="events",
@@ -445,15 +535,43 @@ class Simulator:
             ).inc(executed)
             self.metrics.gauge(
                 "sim.heap_peak", unit="events",
-                description="largest pending-event calendar observed",
-            ).set_max(heap_peak)
+                description="largest live (uncancelled) pending-event "
+                            "population observed",
+            ).set_max(self._live_peak)
         for proc, err in self._failures:
             if id(proc) not in self._joined:
                 raise err
         return self.now
 
+    def _compact(self) -> None:
+        """Rebuild the calendar without cancelled tombstones.
+
+        Triggered by :meth:`EventHandle.cancel` when tombstones exceed
+        half the heap; the FIFO lane is swept too (it drains within the
+        current timestamp anyway, but the recount keeps ``_tombstones``
+        exact).  Mutates the containers in place so :meth:`run`'s local
+        aliases stay valid when a dispatched callback cancels events.
+        """
+        self._heap[:] = [h for h in self._heap if not h.cancelled]
+        heapq.heapify(self._heap)
+        if self._fifo:
+            live_fifo = [h for h in self._fifo if not h.cancelled]
+            self._fifo.clear()
+            self._fifo.extend(live_fifo)
+        self._tombstones = 0
+
     def peek(self) -> Optional[float]:
         """Time of the next pending event, or None if the calendar is empty."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        return self._heap[0].time if self._heap else None
+        heap = self._heap
+        while heap and heap[0].cancelled:
+            heapq.heappop(heap)
+            self._tombstones -= 1
+        fifo = self._fifo
+        while fifo and fifo[0].cancelled:
+            fifo.popleft()
+            self._tombstones -= 1
+        if not heap:
+            return fifo[0].time if fifo else None
+        if not fifo:
+            return heap[0].time
+        return min(heap[0].time, fifo[0].time)

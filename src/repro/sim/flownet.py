@@ -24,8 +24,29 @@ Rates are assigned by *weighted max-min fairness* via progressive
 filling: all unfrozen flows grow at the same progress rate until a link
 saturates (or a flow hits its demand cap); flows on saturated links
 freeze; repeat.  This is the standard fluid approximation for congestion
-controlled transports sharing a network, vectorised with NumPy bincount
-over the flow-link incidence so reallocation is O(nnz) per event.
+controlled transports sharing a network.
+
+Incidence layout (docs/PERFORMANCE.md)
+--------------------------------------
+The flow-link incidence is *persistent*: per-flow edge runs live as
+contiguous slices of two preallocated arrays (``_e_lidx``/``_e_wgt``, in
+active-flow order), appended on arrival and compacted with one mask on
+departure, so a recompute never rebuilds Python lists.  Reallocation is
+*dirty-set gated*: each arrival, departure, or capacity change marks its
+links dirty, and a recompute whose dirty links carry no edges (tracked
+by a per-link reference count) is resolved in O(|dirty|) without
+touching a single flow — current rates are already the solve's fixed
+point.  When a solve *is* needed it refills the full active set: the
+progressive filling applies one global increment to every unfrozen flow,
+so a flow's rate is a partial sum whose breakpoints include other
+components' freeze events, and a per-component re-solve would round
+differently (~1 ulp) — the byte-identical series contract forbids that.
+Two arithmetically identical solver bodies are kept: a vectorised one
+(NumPy bincount over the incidence, one filling pass is O(nnz)) for
+large populations and a scalar one for small ones, where interpreter
+loops beat ufunc dispatch overhead.  Both execute the same IEEE-754
+operation sequence, so which one runs never changes a single bit of any
+rate (guarded by tests/test_flownet.py).
 
 Event integration
 -----------------
@@ -53,18 +74,34 @@ _INF = math.inf
 
 
 class Link:
-    """A shared capacity (bytes/s or ops/s) inside the flow network."""
+    """A shared capacity (bytes/s or ops/s) inside the flow network.
 
-    __slots__ = ("name", "capacity", "index", "busy_integral")
+    Capacity and the busy integral are views into the owning network's
+    link arrays (the vectorised hot paths read and write those arrays
+    directly); change capacity through :meth:`FlowNetwork.set_capacity`.
+    """
 
-    def __init__(self, name: str, capacity: float, index: int):
-        if capacity <= 0:
-            raise SimulationError(f"link {name!r} needs positive capacity, got {capacity}")
+    __slots__ = ("name", "index", "_net")
+
+    def __init__(self, name: str, index: int, net: "FlowNetwork"):
         self.name = name
-        self.capacity = float(capacity)
         self.index = index
-        #: integral of (consumed units) over time, for utilisation reports
-        self.busy_integral = 0.0
+        self._net = net
+
+    @property
+    def capacity(self) -> float:
+        return float(self._net._l_cap[self.index])
+
+    @capacity.setter
+    def capacity(self, value: float) -> None:
+        if value <= 0:
+            raise SimulationError(f"capacity must stay positive, got {value}")
+        self._net._l_cap[self.index] = float(value)
+
+    @property
+    def busy_integral(self) -> float:
+        """Integral of (consumed units) over time, for utilisation reports."""
+        return float(self._net._l_busy[self.index])
 
     def mean_utilization(self, elapsed: float) -> float:
         """Average fraction of capacity used over ``elapsed`` seconds."""
@@ -77,21 +114,28 @@ class Link:
 
 
 class Flow:
-    """One in-flight transfer; yield ``flow.done`` to await completion."""
+    """One in-flight transfer; yield ``flow.done`` to await completion.
+
+    While active, ``remaining`` and ``rate`` live in the network's flow
+    arrays (row ``_row``); on completion or cancellation the final values
+    are written back to the object and the row is released.
+    """
 
     __slots__ = (
         "name",
         "size",
-        "remaining",
         "links",
         "weights",
         "demand_cap",
-        "rate",
         "done",
         "started_at",
         "finished_at",
         "binding",
         "bound_time",
+        "_net",
+        "_row",
+        "_remaining_f",
+        "_rate_f",
     )
 
     def __init__(
@@ -106,11 +150,9 @@ class Flow:
     ):
         self.name = name
         self.size = float(size)
-        self.remaining = float(size)
         self.links = links
         self.weights = weights
         self.demand_cap = float(demand_cap)
-        self.rate = 0.0
         self.done = done
         self.started_at = started_at
         self.finished_at: Optional[float] = None
@@ -122,6 +164,51 @@ class Flow:
         #: constraint name -> seconds the flow spent limited by it
         #: (allocated lazily when the network tracks binding)
         self.bound_time: Optional[dict] = None
+        # detached state (array-backed while the network holds a row)
+        self._net: Optional["FlowNetwork"] = None
+        self._row = -1
+        self._remaining_f = float(size)
+        self._rate_f = 0.0
+
+    @property
+    def remaining(self) -> float:
+        net = self._net
+        if net is None:
+            return self._remaining_f
+        return float(net._f_rem[self._row])
+
+    @remaining.setter
+    def remaining(self, value: float) -> None:
+        net = self._net
+        if net is None:
+            self._remaining_f = float(value)
+        else:
+            net._f_rem[self._row] = value
+
+    @property
+    def rate(self) -> float:
+        net = self._net
+        if net is None:
+            return self._rate_f
+        return float(net._f_rate[self._row])
+
+    @rate.setter
+    def rate(self, value: float) -> None:
+        net = self._net
+        if net is None:
+            self._rate_f = float(value)
+        else:
+            net._f_rate[self._row] = value
+
+    def _detach(self) -> None:
+        """Capture array state into the object and release the row."""
+        net = self._net
+        if net is not None:
+            row = self._row
+            self._remaining_f = float(net._f_rem[row])
+            self._rate_f = float(net._f_rate[row])
+            self._net = None
+            self._row = -1
 
     @property
     def progress_fraction(self) -> float:
@@ -136,6 +223,11 @@ class Flow:
 class FlowNetwork:
     """Container for links plus the active-flow allocation machinery."""
 
+    #: population bounds below which the scalar solver / sync paths run
+    #: (same arithmetic, lower constant); above them NumPy wins
+    _SCALAR_MAX_FLOWS = 16
+    _SCALAR_MAX_EDGES = 128
+
     def __init__(self, sim: Simulator, time_epsilon: float = 1e-9):
         self.sim = sim
         self.time_epsilon = float(time_epsilon)
@@ -143,7 +235,10 @@ class FlowNetwork:
         self._active: list[Flow] = []
         self._last_advance: float = 0.0
         self._completion_event: Optional[EventHandle] = None
-        #: number of allocation recomputations (exposed for perf tests)
+        #: number of allocation recomputations (exposed for perf tests);
+        #: counts calls, including ones the dirty-set gate resolves
+        #: without touching a single flow (simprof's per-recompute
+        #: flow/link/edge counters expose the savings)
         self.reallocations = 0
         #: observers called with each new :class:`Flow` once it is live
         #: (zero-size flows arrive already finished).  Any number of
@@ -157,13 +252,48 @@ class FlowNetwork:
         #: event ordering, or modelled bandwidths.  Enabled by
         #: ``repro.obs`` for critical-path attribution.
         self.track_binding = False
+        # link arrays (index == Link.index); _l_refs counts incident
+        # edges of active flows, which makes the dirty-set skip test O(1)
+        # per dirty link
+        self._l_cap = np.empty(16, dtype=float)
+        self._l_busy = np.zeros(16, dtype=float)
+        self._l_refs = np.zeros(16, dtype=np.intp)
+        # per-flow state arrays, rows in ``_active`` order
+        self._nf = 0
+        self._f_rem = np.empty(16, dtype=float)
+        self._f_rate = np.empty(16, dtype=float)
+        self._f_cap = np.empty(16, dtype=float)
+        self._f_size = np.empty(16, dtype=float)
+        self._f_ecnt = np.empty(16, dtype=np.intp)
+        # edge (incidence) arrays: per-flow runs, concatenated in
+        # ``_active`` order — the persistent CSR layout
+        self._ne = 0
+        self._e_lidx = np.empty(64, dtype=np.intp)
+        self._e_wgt = np.empty(64, dtype=float)
+        self._fidx_cache: Optional[np.ndarray] = None
+        #: link indices whose member set or capacity changed since the
+        #: last solve; gates reallocation
+        self._dirty_links: set[int] = set()
+        #: newly arrived flows with no links (demand-cap only) — they
+        #: touch no link, so they mark the network dirty directly
+        self._dirty_flows: set[Flow] = set()
 
     # -- link management ---------------------------------------------------
     def add_link(self, name: str, capacity: float) -> Link:
         """Register a new shared capacity; names must be unique."""
         if name in self._links:
             raise SimulationError(f"duplicate link name {name!r}")
-        link = Link(name, capacity, index=len(self._links))
+        if capacity <= 0:
+            raise SimulationError(f"link {name!r} needs positive capacity, got {capacity}")
+        index = len(self._links)
+        if index >= self._l_cap.size:
+            self._l_cap = self._grow(self._l_cap, index)
+            self._l_busy = self._grow_zero(self._l_busy, index)
+            self._l_refs = self._grow_zero(self._l_refs, index)
+        self._l_cap[index] = float(capacity)
+        self._l_busy[index] = 0.0
+        self._l_refs[index] = 0
+        link = Link(name, index, self)
         self._links[name] = link
         return link
 
@@ -186,7 +316,9 @@ class FlowNetwork:
         if capacity <= 0:
             raise SimulationError(f"capacity must stay positive, got {capacity}")
         self._sync()
-        self.link(name).capacity = float(capacity)
+        link = self.link(name)
+        link.capacity = float(capacity)
+        self._dirty_links.add(link.index)
         self._reallocate()
         self._schedule_completion()
 
@@ -208,17 +340,40 @@ class FlowNetwork:
         """
         if size < 0:
             raise SimulationError(f"flow size must be >= 0, got {size}")
-        merged: dict[int, float] = {}
-        link_by_index: dict[int, Link] = {}
+        links = []
+        weight_list = []
+        seen: set[int] = set()
+        merged: Optional[dict[int, float]] = None
         for link, weight in usages:
-            if weight < 0:
-                raise SimulationError(f"flow weight must be >= 0, got {weight}")
-            if weight == 0:
+            if weight <= 0:
+                if weight < 0:
+                    raise SimulationError(f"flow weight must be >= 0, got {weight}")
                 continue
-            merged[link.index] = merged.get(link.index, 0.0) + float(weight)
-            link_by_index[link.index] = link
-        links = [link_by_index[i] for i in merged]
-        weights = np.array([merged[link.index] for link in links], dtype=float)
+            i = link.index
+            if i in seen:
+                merged = None  # duplicate: fall back to the merging path
+                break
+            seen.add(i)
+            links.append(link)
+            weight_list.append(float(weight))
+        else:
+            merged = {}
+        if merged is None:
+            # Slow path: duplicate links are merged by summing weights
+            # (in first-appearance order, matching the fast path).
+            merged = {}
+            link_by_index: dict[int, Link] = {}
+            for link, weight in usages:
+                if weight < 0:
+                    raise SimulationError(f"flow weight must be >= 0, got {weight}")
+                if weight == 0:
+                    continue
+                merged[link.index] = merged.get(link.index, 0.0) + float(weight)
+                link_by_index[link.index] = link
+            links = [link_by_index[i] for i in merged]
+            weights = np.array([merged[link.index] for link in links], dtype=float)
+        else:
+            weights = np.array(weight_list, dtype=float)
         if not links and not math.isfinite(demand_cap):
             raise SimulationError(
                 f"flow {name!r} has no links and no demand cap: rate would be infinite"
@@ -233,7 +388,7 @@ class FlowNetwork:
             self._notify_transfer(flow)
             return flow
         self._sync()
-        self._active.append(flow)
+        self._append(flow)
         self._reallocate()
         self._schedule_completion()
         self._notify_transfer(flow)
@@ -256,77 +411,268 @@ class FlowNetwork:
 
     def cancel(self, flow: Flow) -> None:
         """Abort an in-flight flow; its ``done`` signal fails."""
-        if flow not in self._active:
+        if flow._net is not self:
             return
         self._sync()
-        self._active.remove(flow)
+        row = flow._row
+        flow._detach()
+        self._active.pop(row)
+        self._remove_rows([row])
         flow.rate = 0.0
         flow.done.fail(SimulationError(f"flow {flow.name!r} cancelled"))
         self._reallocate()
         self._schedule_completion()
+
+    # -- array plumbing ----------------------------------------------------
+    @staticmethod
+    def _grow(arr: np.ndarray, needed: int) -> np.ndarray:
+        new = np.empty(max(needed + 1, arr.size * 2), dtype=arr.dtype)
+        new[: arr.size] = arr
+        return new
+
+    @staticmethod
+    def _grow_zero(arr: np.ndarray, needed: int) -> np.ndarray:
+        new = np.zeros(max(needed + 1, arr.size * 2), dtype=arr.dtype)
+        new[: arr.size] = arr
+        return new
+
+    def _append(self, flow: Flow) -> None:
+        """Give ``flow`` the next row and append its edge run."""
+        row = self._nf
+        if row >= self._f_rem.size:
+            for attr in ("_f_rem", "_f_rate", "_f_cap", "_f_size", "_f_ecnt"):
+                setattr(self, attr, self._grow(getattr(self, attr), row))
+        k = len(flow.links)
+        ne = self._ne
+        if ne + k > self._e_lidx.size:
+            self._e_lidx = self._grow(self._e_lidx, ne + k)
+            self._e_wgt = self._grow(self._e_wgt, ne + k)
+        dirty = self._dirty_links
+        refs = self._l_refs
+        if k > 8:
+            # links are unique after transfer()'s duplicate merge, so a
+            # fancy-index increment is a correct refcount update
+            idx = np.fromiter((link.index for link in flow.links), dtype=np.intp, count=k)
+            self._e_lidx[ne : ne + k] = idx
+            refs[idx] += 1
+            dirty.update(idx.tolist())
+        else:
+            for j, link in enumerate(flow.links):
+                i = link.index
+                self._e_lidx[ne + j] = i
+                refs[i] += 1
+                dirty.add(i)
+        if k:
+            self._e_wgt[ne : ne + k] = flow.weights
+        else:
+            self._dirty_flows.add(flow)
+        self._f_rem[row] = flow.remaining
+        self._f_rate[row] = 0.0
+        self._f_cap[row] = flow.demand_cap
+        self._f_size[row] = flow.size
+        self._f_ecnt[row] = k
+        flow._net = self
+        flow._row = row
+        self._active.append(flow)
+        self._nf = row + 1
+        self._ne = ne + k
+        self._fidx_cache = None
+
+    def _remove_rows(self, rows: Sequence[int]) -> None:
+        """Compact the flow and edge arrays after removing ``rows``.
+
+        ``self._active`` must already reflect the removal; surviving
+        flows are renumbered so row order stays ``_active`` order (which
+        is what keeps the incidence enumeration — and therefore every
+        bincount accumulation — identical to a from-scratch rebuild).
+        """
+        n = self._nf
+        ne = self._ne
+        dirty = self._dirty_links
+        refs = self._l_refs
+        ecnt = self._f_ecnt
+        lidx = self._e_lidx
+        if n <= self._SCALAR_MAX_FLOWS and ne <= self._SCALAR_MAX_EDGES:
+            rowset = set(rows)
+            wgt = self._e_wgt
+            rem = self._f_rem
+            rate = self._f_rate
+            fcap = self._f_cap
+            fsize = self._f_size
+            src_e = 0
+            dst_e = 0
+            dst = 0
+            for i in range(n):
+                k = int(ecnt[i])
+                if i in rowset:
+                    for e in range(src_e, src_e + k):
+                        li = int(lidx[e])
+                        refs[li] -= 1
+                        dirty.add(li)
+                else:
+                    if dst_e != src_e:
+                        for e in range(k):
+                            lidx[dst_e + e] = lidx[src_e + e]
+                            wgt[dst_e + e] = wgt[src_e + e]
+                    if dst != i:
+                        rem[dst] = rem[i]
+                        rate[dst] = rate[i]
+                        fcap[dst] = fcap[i]
+                        fsize[dst] = fsize[i]
+                        ecnt[dst] = k
+                    dst_e += k
+                    dst += 1
+                src_e += k
+            new_n = dst
+            self._ne = dst_e
+        else:
+            keep = np.ones(n, dtype=bool)
+            keep[list(rows)] = False
+            edge_keep = np.repeat(keep, ecnt[:n])
+            dropped = lidx[:ne][~edge_keep]
+            if dropped.size:
+                drop_idx, drop_cnt = np.unique(dropped, return_counts=True)
+                refs[drop_idx] -= drop_cnt
+                dirty.update(int(i) for i in drop_idx)
+            new_ne = int(edge_keep.sum())
+            if new_ne != ne:
+                lidx[:new_ne] = lidx[:ne][edge_keep]
+                self._e_wgt[:new_ne] = self._e_wgt[:ne][edge_keep]
+            new_n = int(keep.sum())
+            for attr in ("_f_rem", "_f_rate", "_f_cap", "_f_size", "_f_ecnt"):
+                arr = getattr(self, attr)
+                arr[:new_n] = arr[:n][keep]
+            self._ne = new_ne
+        self._nf = new_n
+        self._fidx_cache = None
+        first = min(rows)
+        active = self._active
+        for i in range(first, new_n):
+            active[i]._row = i
+
+    def _fidx(self) -> np.ndarray:
+        """Edge-to-flow index (CSR row expansion), cached until the
+        membership changes."""
+        cache = self._fidx_cache
+        if cache is None:
+            n = self._nf
+            cache = np.repeat(np.arange(n, dtype=np.intp), self._f_ecnt[:n])
+            self._fidx_cache = cache
+        return cache
 
     # -- internals -------------------------------------------------------------
     def _sync(self) -> None:
         """Advance every active flow's progress to the current time."""
         now = self.sim.now
         dt = now - self._last_advance
-        if dt > 0 and self._active:
-            track = self.track_binding
-            for flow in self._active:
-                if flow.rate > 0:
-                    flow.remaining = max(0.0, flow.remaining - flow.rate * dt)
-                    for link, weight in zip(flow.links, flow.weights):
-                        link.busy_integral += flow.rate * weight * dt
-                if track and flow.bound_time is not None:
-                    binding = flow.binding
-                    if binding is not None:
-                        key = binding if isinstance(binding, str) else binding.name
-                        flow.bound_time[key] = flow.bound_time.get(key, 0.0) + dt
+        n = self._nf
+        if dt > 0 and n:
+            ne = self._ne
+            if n <= self._SCALAR_MAX_FLOWS and ne <= self._SCALAR_MAX_EDGES:
+                rem = self._f_rem
+                busy = self._l_busy
+                rates = self._f_rate[:n].tolist()
+                for i in range(n):
+                    r = rates[i]
+                    if r != 0.0:  # exact: a zero rate leaves remaining untouched
+                        v = float(rem[i]) - r * dt
+                        rem[i] = v if v > 0.0 else 0.0
+                if ne:
+                    lidx = self._e_lidx[:ne].tolist()
+                    wgt = self._e_wgt[:ne].tolist()
+                    fidx = self._fidx().tolist()
+                    for e in range(ne):
+                        r = rates[fidx[e]]
+                        if r != 0.0:  # exact: skipping a +0.0 busy add is a no-op
+                            busy[lidx[e]] += r * wgt[e] * dt
+            else:
+                rate = self._f_rate[:n]
+                self._f_rem[:n] = np.maximum(0.0, self._f_rem[:n] - rate * dt)
+                if ne:
+                    # np.add.at accumulates in element order — the same
+                    # per-link addition sequence as a per-flow loop
+                    fidx = self._fidx()
+                    np.add.at(
+                        self._l_busy,
+                        self._e_lidx[:ne],
+                        rate[fidx] * self._e_wgt[:ne] * dt,
+                    )
+            if self.track_binding:
+                for flow in self._active:
+                    if flow.bound_time is not None:
+                        binding = flow.binding
+                        if binding is not None:
+                            key = binding if isinstance(binding, str) else binding.name
+                            flow.bound_time[key] = flow.bound_time.get(key, 0.0) + dt
         self._last_advance = now
 
     def _reallocate(self) -> None:
-        """Weighted max-min progressive filling over all active flows."""
+        """Weighted max-min progressive filling, gated by the dirty set.
+
+        Links marked dirty (membership or capacity change) are checked
+        against the per-link edge refcount; if none carries an edge of
+        an active flow (and no linkless flow arrived), no rate can
+        change and the call resolves in O(|dirty|) — the stored rates
+        are already the solve's fixed point.  Otherwise the full active
+        set is re-filled (see the module docstring for why a
+        component-scoped refill would break bitwise reproducibility).
+        """
         self.reallocations += 1
         # simprof hook: the recorder only counts and reads its own clock
         # (inside obs/profile.py), never influences the allocation
         profile = self.sim.profile
         token = profile.recompute_begin() if profile is not None else 0.0
-        flows = self._active
-        nflows = len(flows)
-        if nflows == 0:
-            if profile is not None:
-                profile.recompute_end(token, 0, 0, len(self._links), 0)
-            return
-        # Flatten incidence: one row per (flow, link) usage.
-        flow_idx: list[int] = []
-        link_idx: list[int] = []
-        weight: list[float] = []
-        for fi, flow in enumerate(flows):
-            for link, w in zip(flow.links, flow.weights):
-                flow_idx.append(fi)
-                link_idx.append(link.index)
-                weight.append(w)
-        fidx = np.asarray(flow_idx, dtype=np.intp)
-        lidx = np.asarray(link_idx, dtype=np.intp)
-        wgt = np.asarray(weight, dtype=float)
+        n = self._nf
         nlinks = len(self._links)
-        cap_left = np.empty(nlinks, dtype=float)
-        for link in self._links.values():
-            cap_left[link.index] = link.capacity
-        caps = np.array([f.demand_cap for f in flows], dtype=float)
-        rate = np.zeros(nflows, dtype=float)
-        unfrozen = np.ones(nflows, dtype=bool)
-        # Progressive filling; bounded by number of links + 1 iterations
-        # because each iteration freezes at least one link or cap group.
-        for _ in range(nlinks + nflows + 1):
+        dirty = self._dirty_links
+        affected = False
+        if self._dirty_flows:
+            affected = n > 0
+            self._dirty_flows.clear()
+        if dirty:
+            if n and not affected:
+                refs = self._l_refs
+                for i in dirty:
+                    if i < nlinks and refs[i]:
+                        affected = True
+                        break
+            dirty.clear()
+        if not affected:
+            if profile is not None:
+                profile.recompute_end(token, 0, 0, nlinks, 0)
+            return
+        ne = self._ne
+        if n <= self._SCALAR_MAX_FLOWS and ne <= self._SCALAR_MAX_EDGES:
+            self._solve_scalar(n, nlinks, ne)
+        else:
+            self._solve_vector(n, nlinks, ne)
+        if profile is not None:
+            touched = int((self._l_refs[:nlinks] > 0).sum())
+            profile.recompute_end(token, n, touched, nlinks, ne)
+
+    def _solve_vector(self, n: int, nlinks: int, ne: int) -> None:
+        """Vectorised progressive filling over the full active set."""
+        lidx = self._e_lidx[:ne]
+        wgt = self._e_wgt[:ne]
+        fidx = self._fidx()
+        caps = self._f_cap[:n]
+        cap_left = self._l_cap[:nlinks].copy()
+        rate = np.zeros(n, dtype=float)
+        unfrozen = np.ones(n, dtype=bool)
+        # Progressive filling; bounded by number of links + flows + 1
+        # iterations because each iteration freezes at least one flow.
+        for _ in range(nlinks + n + 1):
             if not unfrozen.any():
                 break
             active_edge = unfrozen[fidx]
-            w_per_link = np.bincount(
-                lidx[active_edge], weights=wgt[active_edge], minlength=nlinks
-            )
-            with np.errstate(divide="ignore", invalid="ignore"):
-                headroom = np.where(w_per_link > 1e-15, cap_left / w_per_link, _INF)
+            # bincount over the full edge list with frozen weights zeroed
+            # adds +0.0 terms into the same per-bin accumulation order a
+            # compressed bincount would use — bitwise-identical sums,
+            # without materialising compressed index/weight copies
+            w_per_link = np.bincount(lidx, weights=wgt * active_edge, minlength=nlinks)
+            has_w = w_per_link > 1e-15
+            headroom = np.full(nlinks, _INF)
+            np.divide(cap_left, w_per_link, out=headroom, where=has_w)
             r_link = headroom.min() if nlinks else _INF
             cap_slack = caps[unfrozen] - rate[unfrozen]
             r_cap = cap_slack.min() if cap_slack.size else _INF
@@ -338,11 +684,11 @@ class FlowNetwork:
             dr = max(dr, 0.0)
             rate[unfrozen] += dr
             cap_left -= w_per_link * dr
-            np.clip(cap_left, 0.0, None, out=cap_left)
+            np.maximum(cap_left, 0.0, out=cap_left)
             # Freeze flows incident to (near-)saturated links and flows at cap.
             tol = 1e-9
-            saturated = (w_per_link > 1e-15) & (cap_left <= tol * np.maximum(1.0, dr * w_per_link))
-            newly = np.zeros(nflows, dtype=bool)
+            saturated = has_w & (cap_left <= tol * np.maximum(1.0, dr * w_per_link))
+            newly = np.zeros(n, dtype=bool)
             if saturated.any():
                 on_sat = saturated[lidx] & active_edge
                 if on_sat.any():
@@ -352,28 +698,149 @@ class FlowNetwork:
             newly &= unfrozen
             if not newly.any():
                 # Numerical corner: force-freeze flows on the binding link.
-                binding = int(np.argmin(headroom))
-                on_bind = (lidx == binding) & active_edge
-                if on_bind.any():
-                    newly[fidx[on_bind]] = True
-                else:
-                    break
+                frozen_any = False
+                if nlinks:
+                    binding = int(np.argmin(headroom))
+                    on_bind = (lidx == binding) & active_edge
+                    if on_bind.any():
+                        newly[fidx[on_bind]] = True
+                        frozen_any = True
+                if not frozen_any:
+                    # No saturated link, nobody at cap, and the binding
+                    # link carries no unfrozen flow: the filling cannot
+                    # make progress.  Exiting here would silently leave
+                    # the flows below at rate 0 — fail loudly instead.
+                    raise SimulationError(
+                        "max-min filling stalled with unfrozen flows "
+                        f"{self._stuck_flows(unfrozen)}: no link saturates "
+                        "and no demand cap is reachable within tolerance "
+                        "(pathological capacity/cap values?)"
+                    )
             unfrozen &= ~newly
-        for flow, r in zip(flows, rate):
-            flow.rate = float(r)
+        self._f_rate[:n] = rate
         if self.track_binding:
-            self._assign_bindings(flows, rate, cap_left)
-        if profile is not None:
-            profile.recompute_end(
-                token, nflows, len(set(link_idx)), nlinks, len(flow_idx)
-            )
+            self._assign_bindings(rate, cap_left)
 
-    def _assign_bindings(self, flows: list[Flow], rate, cap_left) -> None:
+    def _solve_scalar(self, n: int, nlinks: int, ne: int) -> None:
+        """Scalar progressive filling for small populations.
+
+        Executes the exact IEEE-754 operation sequence of
+        :meth:`_solve_vector` — per-link weight sums accumulate in edge
+        order (bincount order), reductions take the same elements — so
+        the two are bitwise interchangeable; only the constant factor
+        differs.
+        """
+        lidx = self._e_lidx[:ne].tolist()
+        wgt = self._e_wgt[:ne].tolist()
+        fidx = self._fidx().tolist()
+        caps = self._f_cap[:n].tolist()
+        l_cap = self._l_cap
+        cap_left: dict[int, float] = {}
+        for li in lidx:
+            if li not in cap_left:
+                cap_left[li] = float(l_cap[li])
+        rate = [0.0] * n
+        unfrozen = [True] * n
+        n_unfrozen = n
+        tol = 1e-9
+        for _ in range(nlinks + n + 1):
+            if not n_unfrozen:
+                break
+            w_per_link: dict[int, float] = {}
+            for e in range(ne):
+                if unfrozen[fidx[e]]:
+                    li = lidx[e]
+                    w_per_link[li] = w_per_link.get(li, 0.0) + wgt[e]
+            headroom: dict[int, float] = {}
+            r_link = _INF
+            for li, w in w_per_link.items():
+                if w > 1e-15:
+                    h = cap_left[li] / w
+                    headroom[li] = h
+                    if h < r_link:
+                        r_link = h
+            r_cap = _INF
+            for i in range(n):
+                if unfrozen[i]:
+                    s = caps[i] - rate[i]
+                    if s < r_cap:
+                        r_cap = s
+            dr = min(r_link, r_cap)
+            if not math.isfinite(dr):
+                raise SimulationError("max-min filling diverged (unconstrained flow)")
+            dr = max(dr, 0.0)
+            for i in range(n):
+                if unfrozen[i]:
+                    rate[i] += dr
+            saturated: set[int] = set()
+            for li, w in w_per_link.items():
+                c = cap_left[li] - w * dr
+                if c < 0.0:
+                    c = 0.0
+                cap_left[li] = c
+                if w > 1e-15:
+                    m = dr * w
+                    if m < 1.0:
+                        m = 1.0
+                    if c <= tol * m:
+                        saturated.add(li)
+            newly = [False] * n
+            any_new = False
+            if saturated:
+                for e in range(ne):
+                    f = fidx[e]
+                    if unfrozen[f] and lidx[e] in saturated:
+                        newly[f] = True
+                        any_new = True
+            for i in range(n):
+                if unfrozen[i] and rate[i] >= caps[i] - 1e-12:
+                    newly[i] = True
+                    any_new = True
+            if not any_new:
+                # Numerical corner: force-freeze flows on the binding
+                # link (np.argmin semantics: first index of the minimum
+                # over the full link range, INF where no weight).
+                frozen_any = False
+                if nlinks:
+                    h_min = min(headroom.values()) if headroom else _INF
+                    if math.isfinite(h_min):
+                        # exact: comparing against the stored minimum itself
+                        binding = min(li for li, h in headroom.items() if h == h_min)
+                    else:
+                        binding = 0
+                    for e in range(ne):
+                        if lidx[e] == binding and unfrozen[fidx[e]]:
+                            newly[fidx[e]] = True
+                            frozen_any = True
+                if not frozen_any:
+                    raise SimulationError(
+                        "max-min filling stalled with unfrozen flows "
+                        f"{self._stuck_flows(unfrozen)}: no link saturates "
+                        "and no demand cap is reachable within tolerance "
+                        "(pathological capacity/cap values?)"
+                    )
+            for i in range(n):
+                if newly[i] and unfrozen[i]:
+                    unfrozen[i] = False
+                    n_unfrozen -= 1
+        self._f_rate[:n] = rate
+        if self.track_binding:
+            self._assign_bindings(rate, cap_left)
+
+    def _stuck_flows(self, unfrozen: Sequence[bool]) -> list[str]:
+        return [f.name for f, u in zip(self._active, unfrozen) if u]
+
+    def _assign_bindings(self, rate: Sequence[float], cap_left) -> None:
         """Record, per flow, the constraint that bounds its current rate:
         its demand cap, or the most-depleted link it uses (the one the
         progressive filling froze it on).  Reads only quantities the
-        allocator computed; never feeds back into allocation."""
-        for fi, flow in enumerate(flows):
+        allocator computed; never feeds back into allocation.
+
+        ``cap_left`` is indexable by link index: the vectorised solver
+        passes the full array, the scalar one a dict covering every link
+        that carries an edge (which includes every link of every active
+        flow, so lookups never miss)."""
+        for fi, flow in enumerate(self._active):
             if flow.bound_time is None:
                 continue
             if math.isfinite(flow.demand_cap) and rate[fi] >= flow.demand_cap - 1e-9:
@@ -393,11 +860,22 @@ class FlowNetwork:
             self._completion_event.cancel()
             self._completion_event = None
         best = _INF
-        for flow in self._active:
-            if flow.rate > 0:
-                eta = flow.remaining / flow.rate
-                if eta < best:
-                    best = eta
+        n = self._nf
+        if n:
+            if n <= self._SCALAR_MAX_FLOWS:
+                rem = self._f_rem
+                rate = self._f_rate
+                for i in range(n):
+                    r = float(rate[i])
+                    if r > 0:
+                        v = float(rem[i]) / r
+                        if v < best:
+                            best = v
+            else:
+                rates = self._f_rate[:n]
+                pos = rates > 0
+                if pos.any():
+                    best = float((self._f_rem[:n][pos] / rates[pos]).min())
         if math.isfinite(best):
             self._completion_event = self.sim.schedule(best, self._on_completion)
 
@@ -406,26 +884,56 @@ class FlowNetwork:
         self._sync()
         # Batch everything finishing within epsilon (plus anything whose
         # residual would finish within epsilon at its current rate).
-        finished: list[Flow] = []
-        survivors: list[Flow] = []
-        for flow in self._active:
-            residual_time = flow.remaining / flow.rate if flow.rate > 0 else _INF
-            if flow.remaining <= 1e-9 * max(1.0, flow.size) or residual_time <= self.time_epsilon:
-                finished.append(flow)
-            else:
-                survivors.append(flow)
-        if not finished:
+        n = self._nf
+        eps = self.time_epsilon
+        if n <= self._SCALAR_MAX_FLOWS:
+            rows = []
+            rem_a = self._f_rem
+            rate_a = self._f_rate
+            size_a = self._f_size
+            for i in range(n):
+                rem = float(rem_a[i])
+                size = float(size_a[i])
+                m = size if size > 1.0 else 1.0
+                fin = rem <= 1e-9 * m
+                if not fin:
+                    r = float(rate_a[i])
+                    fin = r > 0 and rem / r <= eps
+                if fin:
+                    rows.append(i)
+            nrows = len(rows)
+        else:
+            rem_v = self._f_rem[:n]
+            rate_v = self._f_rate[:n]
+            residual = np.full(n, _INF)
+            np.divide(rem_v, rate_v, out=residual, where=rate_v > 0)
+            finished_mask = (rem_v <= 1e-9 * np.maximum(1.0, self._f_size[:n])) | (
+                residual <= eps
+            )
+            rows = np.flatnonzero(finished_mask).tolist()
+            nrows = len(rows)
+        if nrows == 0:
             # Spurious wakeup (e.g. a rate changed between scheduling and
             # firing); just reschedule.
             self._reallocate()
             self._schedule_completion()
             return
-        self._active = survivors
+        active = self._active
+        finished = [active[i] for i in rows]
+        if nrows == n:
+            self._active = []
+        else:
+            rowset = set(rows)
+            self._active = [active[i] for i in range(n) if i not in rowset]
+        for flow in finished:
+            flow._detach()
+        self._remove_rows(rows)
+        now = self.sim.now
         for flow in finished:
             flow.remaining = 0.0
             flow.rate = 0.0
-            flow.finished_at = self.sim.now
+            flow.finished_at = now
             flow.done.succeed(flow)
-        if survivors:
+        if self._active:
             self._reallocate()
         self._schedule_completion()

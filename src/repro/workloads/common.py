@@ -47,6 +47,13 @@ class WorkloadConfig:
     #: IOR layout: False = file per process (the paper's configuration),
     #: True = one shared file with per-rank segments
     shared_file: bool = False
+    #: client aggregation: each configured client node stands for this
+    #: many identical nodes — one flow per rank group with cohort-scaled
+    #: link weights instead of ``cohort`` separate event chains.
+    #: Aggregate mode only; the store environment must be built with the
+    #: same cohort (``DaosEnv(..., cohort=N)``).  See docs/PERFORMANCE.md
+    #: for the exactness contract.
+    cohort: int = 1
 
     def __post_init__(self) -> None:
         if self.mode not in _MODES:
@@ -55,6 +62,13 @@ class WorkloadConfig:
             raise ConfigError("ops_per_process and op_size must be positive")
         if self.batches < 1 or self.batches > self.ops_per_process:
             raise ConfigError("batches must be in 1..ops_per_process")
+        if self.cohort < 1:
+            raise ConfigError(f"cohort must be >= 1, got {self.cohort}")
+        if self.cohort > 1 and self.mode != "aggregate":
+            raise ConfigError(
+                "cohort aggregation requires mode='aggregate' (exact mode "
+                "simulates every rank individually)"
+            )
 
     def with_(self, **kwargs: Any) -> "WorkloadConfig":
         return replace(self, **kwargs)
@@ -62,6 +76,11 @@ class WorkloadConfig:
     @property
     def total_processes(self) -> int:
         return self.n_client_nodes * self.ppn
+
+    @property
+    def modelled_processes(self) -> int:
+        """Client processes the run *represents* (cohort members included)."""
+        return self.n_client_nodes * self.ppn * self.cohort
 
     @property
     def bytes_per_process(self) -> int:
@@ -108,6 +127,12 @@ class PhasedRunner:
         self.sim = env.cluster.sim
         self.recorder = recorder or PhaseRecorder()
         self.world = RankWorld(env.cluster, cfg.n_client_nodes, cfg.ppn)
+        if cfg.cohort > 1 and getattr(env, "cohort", 1) != cfg.cohort:
+            raise ConfigError(
+                f"cfg.cohort={cfg.cohort} but the environment was built "
+                f"with cohort={getattr(env, 'cohort', 1)}; construct it "
+                f"with the same cohort (cohorts are DAOS-only for now)"
+            )
         parties = self.world.size if cfg.mode == "exact" else cfg.n_client_nodes
         self.phase_barrier = self.world.barrier(parties, name="phase")
         # Observability (dormant when the cluster carries none).
@@ -219,6 +244,10 @@ class PhasedRunner:
         cfg = self.cfg
         obs = self._obs
         tid = obs.node_tid(node) if obs is not None else 0
+        # one rank group stands for `cohort` identical groups: the flow
+        # weights are cohort-scaled inside the store client, so here only
+        # the recorded bytes/ops need the multiplier
+        members = len(ranks) * cfg.cohort
         states = yield from self.setup_group(node, ranks)
         yield self.phase_barrier.wait()
         for phase in self.phases():
@@ -227,7 +256,7 @@ class PhasedRunner:
             if obs is not None:
                 span = obs.tracer.begin(
                     f"workload.{phase}", cat="workload", tid=tid,
-                    args={"ranks": len(ranks)},
+                    args={"ranks": members},
                 )
             for batch in range(cfg.batches):
                 ops = cfg.ops_in_batch(batch)
@@ -237,16 +266,16 @@ class PhasedRunner:
                     yield from self.batch_flow(node, states, phase, ops)
                 except DataLossError:
                     self.recorder.record_lost(
-                        phase, t0, self.sim.now, ops=len(ranks) * ops
+                        phase, t0, self.sim.now, ops=members * ops
                     )
                     continue
                 self.recorder.record(
-                    phase, t0, self.sim.now, len(ranks) * ops * cfg.op_size,
-                    ops=len(ranks) * ops,
+                    phase, t0, self.sim.now, members * ops * cfg.op_size,
+                    ops=members * ops,
                 )
                 if obs is not None:
-                    self._m_ops.inc(len(ranks) * ops)
-                    self._m_bytes.inc(len(ranks) * ops * cfg.op_size)
+                    self._m_ops.inc(members * ops)
+                    self._m_bytes.inc(members * ops * cfg.op_size)
             if span is not None:
                 obs.tracer.finish(span)
             yield self.phase_barrier.wait()
@@ -269,13 +298,19 @@ class DaosEnv:
         jitter_sigma: float = 0.02,
         dfuse_params: Optional[DfuseParams] = None,
         retry_policy: Any = None,
+        cohort: int = 1,
     ) -> None:
+        if cohort < 1:
+            raise ConfigError(f"cohort must be >= 1, got {cohort}")
         self.cluster = cluster
         self.pool = pool or Pool(cluster)
         self.jitter_sigma = jitter_sigma
         self.dfuse_params = dfuse_params or DfuseParams()
         #: RetryPolicy handed to every client this env creates
         self.retry_policy = retry_policy
+        #: every client this env creates stands for this many identical
+        #: clients (see :class:`WorkloadConfig.cohort`)
+        self.cohort = cohort
         self._clients: Dict[int, DaosClient] = {}
         self._dfuse: Dict[int, DfuseMount] = {}
         self._il: Dict[int, InterceptedMount] = {}
@@ -288,6 +323,7 @@ class DaosEnv:
                 self.cluster, self.pool, node,
                 jitter_sigma=self.jitter_sigma,
                 retry_policy=self.retry_policy,
+                cohort=self.cohort,
             )
             self._clients[node.index] = c
         return c

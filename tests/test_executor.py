@@ -333,7 +333,7 @@ def test_execution_report_as_dict_roundtrip():
 def test_bench_record_carries_execution(tmp_path):
     from repro.harness.bench import BENCH_SCHEMA, figure_record
 
-    assert BENCH_SCHEMA == 3
+    assert BENCH_SCHEMA == 4
     fig, report = execute_plan(tiny_plan(), cache=ResultCache(tmp_path))
     rec = figure_record(fig, wall_seconds=0.5, events=100, execution=report)
     assert rec["execution"]["executed_points"] == 3

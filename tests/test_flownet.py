@@ -332,6 +332,126 @@ def test_epsilon_batched_completions_fire_together():
     assert net.reallocations - before <= 5
 
 
+def test_near_saturated_link_freezes_within_tolerance():
+    """A link left within the relative tolerance of saturation freezes
+    its flows in the same round instead of spinning micro-rounds on the
+    residual capacity."""
+    sim, net = make_net()
+    l0 = net.add_link("l0", 10.0)
+    # capacity such that the first fill leaves ~1e-12 of slack: inside
+    # the 1e-9 relative tolerance, outside exact-zero
+    l1 = net.add_link("l1", 10.0 + 1e-12)
+    specs = [
+        {"name": "a", "size": 50.0, "usages": [(l0, 1.0), (l1, 1.0)]},
+        {"name": "b", "size": 50.0, "usages": [(l1, 1.0)]},
+    ]
+    before = net.reallocations
+    done = run_flows(sim, net, specs)
+    # both freeze at rate 5 when l1 saturates within tolerance
+    assert done["a"] == pytest.approx(10.0)
+    assert done["b"] == pytest.approx(10.0)
+    # 2 arrivals + 1 completion batch (+ slack): no micro-round storm
+    assert net.reallocations - before <= 4
+
+
+def test_demand_cap_only_flow_coexists_with_linked_traffic():
+    """Linkless (demand-cap-only) flows ride the dirty-flow path: their
+    arrival must trigger a solve even though no link membership changed,
+    and linked churn around them must not disturb their capped rate."""
+    sim, net = make_net()
+    link = net.add_link("pipe", 100.0)
+    specs = [
+        {"name": "cpu", "size": 100.0, "usages": [], "demand_cap": 25.0},
+        {"name": "io1", "size": 100.0, "usages": [(link, 1.0)]},
+        {"name": "io2", "size": 100.0, "usages": [(link, 1.0)], "start_delay": 2.0},
+        {"name": "cpu2", "size": 30.0, "usages": [], "demand_cap": 10.0, "start_delay": 1.0},
+    ]
+    done = run_flows(sim, net, specs)
+    # cap-only flows run at their cap regardless of link churn
+    assert done["cpu"] == pytest.approx(4.0)
+    assert done["cpu2"] == pytest.approx(4.0)
+    assert done["io1"] == pytest.approx(1.0)
+    assert done["io2"] == pytest.approx(3.0)
+
+
+# Capacity/cap pair where freezing the linked flow leaves the capped
+# flow's rate a hair *below* its cap — outside the 1e-12 at-cap window
+# (the float sum ``LINK_CAP + (NEAR_MISS_CAP - LINK_CAP)`` undershoots
+# ``NEAR_MISS_CAP`` by ~4e-9).  Exercises the filling's numerical
+# corner branches.
+NEAR_MISS_CAP = 23385136.580731507
+LINK_CAP = 2699422.8106198553
+
+
+def _force_solver(net, vector):
+    """Pin the net to one solver implementation via the size thresholds."""
+    if vector:
+        net._SCALAR_MAX_FLOWS = 0
+    else:
+        net._SCALAR_MAX_FLOWS = 10**9
+        net._SCALAR_MAX_EDGES = 10**9
+
+
+@pytest.mark.parametrize("vector", [False, True], ids=["scalar", "vector"])
+def test_force_freeze_on_binding_link(vector):
+    """At-cap near-miss on a flow that still has a link: the filling
+    force-freezes it on its binding link and the simulation proceeds
+    (no stall, completion time within a rounding error of the cap)."""
+    sim, net = make_net()
+    _force_solver(net, vector)
+    wide = net.add_link("wide", 1e12)
+    narrow = net.add_link("narrow", LINK_CAP)
+    size = NEAR_MISS_CAP * 2.0
+    specs = [
+        {"name": "capped", "size": size, "usages": [(wide, 1.0)],
+         "demand_cap": NEAR_MISS_CAP},
+        {"name": "helper", "size": LINK_CAP * 0.5, "usages": [(narrow, 1.0)]},
+    ]
+    done = run_flows(sim, net, specs)
+    assert done["capped"] == pytest.approx(size / NEAR_MISS_CAP, rel=1e-6)
+    assert done["helper"] == pytest.approx(0.5)
+
+
+@pytest.mark.parametrize("vector", [False, True], ids=["scalar", "vector"])
+def test_stalled_filling_names_the_stuck_flows(vector):
+    """Same near-miss but the capped flow has *no* links: there is no
+    binding link to force-freeze on, so the filling fails loudly with a
+    diagnostic naming the stuck flow instead of leaving it at rate 0."""
+    sim, net = make_net()
+    _force_solver(net, vector)
+    link = net.add_link("pipe", LINK_CAP)
+    net.transfer(1e12, [(link, 1.0)], name="greedy")
+    with pytest.raises(SimulationError, match=r"stalled.*blocked"):
+        net.transfer(1e12, [], demand_cap=NEAR_MISS_CAP, name="blocked")
+
+
+def test_scalar_and_vector_solvers_bitwise_identical():
+    """The two solver implementations are interchangeable bit for bit:
+    a mixed weighted/capped/staggered scenario completes at *identical*
+    float times under both."""
+    def run(vector):
+        sim, net = make_net()
+        _force_solver(net, vector)
+        l0 = net.add_link("l0", 97.0)
+        l1 = net.add_link("l1", 31.0)
+        l2 = net.add_link("l2", 7.3)
+        specs = [
+            {"name": "a", "size": 100.0, "usages": [(l0, 1.0), (l1, 0.3)]},
+            {"name": "b", "size": 55.5, "usages": [(l1, 1.7)], "demand_cap": 9.1},
+            {"name": "c", "size": 70.0, "usages": [(l2, 1.0), (l0, 0.1)],
+             "start_delay": 0.7},
+            {"name": "d", "size": 12.0, "usages": [], "demand_cap": 3.7,
+             "start_delay": 1.3},
+            {"name": "e", "size": 200.0, "usages": [(l0, 2.0), (l1, 0.9), (l2, 0.2)],
+             "start_delay": 2.9},
+        ]
+        return run_flows(sim, net, specs)
+
+    scalar = run(vector=False)
+    vector = run(vector=True)
+    assert scalar == vector  # exact: solvers share one IEEE-754 op sequence
+
+
 def test_run_until_leaves_flows_consistent():
     """Pausing the simulator mid-flight and resuming must not lose
     progress or duplicate it."""

@@ -76,10 +76,11 @@ def test_run_point_lustre_and_ceph_stores():
 
 def test_figure_registry_complete():
     # one entry for every paper element in DESIGN.md's experiment index,
-    # plus the FD degraded-mode family (docs/FAULTS.md)
+    # plus the FD degraded-mode family (docs/FAULTS.md) and the SC
+    # cohort-scalability figure (docs/PERFORMANCE.md)
     assert set(FIGURES) == {
         "HW", "F1", "F2", "F3", "F4", "F5", "F6", "RP2",
-        "F7", "LIOR", "F8", "CIOR", "F9", "FD",
+        "F7", "LIOR", "F8", "CIOR", "F9", "FD", "SC",
     }
 
 

@@ -16,10 +16,17 @@ Exit status:
   ``peak_queue_depth`` — schema 3; a kernel optimisation that changes
   them intentionally regenerates the baseline, like a model change), a
   derived rate (``events_per_second``, ``recomputes_per_second``)
-  slowed beyond the wall tolerance, a shape check flipped to failing,
-  or a figure/series disappeared;
+  slowed beyond the wall tolerance, a candidate figure ran below the
+  absolute ``--fail-under-events-per-sec`` floor, a shape check flipped
+  to failing, or a figure/series disappeared;
 - ``2`` — the files could not be read or have incompatible schemas
   (including a missing baseline — the error suggests how to seed one).
+
+``peak_queue_depth`` changed meaning in schema 4 (live events only;
+cancelled tombstones no longer counted), so across a schema 3<->4 pair
+it is reported as info rather than compared exactly.  Pass ``-`` as the
+baseline to skip comparison entirely and only enforce the events/sec
+floor (the CI perf-smoke mode).
 
 Wall-clock noise cuts both ways: speedups and small slowdowns are
 reported as info, only slowdowns beyond the tolerance fail.
@@ -45,9 +52,11 @@ def load(path: str) -> Dict:
     if not isinstance(doc, dict) or "schema" not in doc or "figures" not in doc:
         raise ValueError(f"{path}: not a BENCH document")
     # schema 2 added executor/cache accounting, schema 3 the simprof
-    # engine fields; every field is compared only when both documents
-    # carry it, so any mix of 1..3 is comparable
-    if doc["schema"] not in (1, 2, 3):
+    # engine fields, schema 4 live-only queue peaks + recomputes_per_event;
+    # every field is compared only when both documents carry it (and
+    # peak_queue_depth only within one semantic regime), so any mix of
+    # 1..4 is comparable
+    if doc["schema"] not in (1, 2, 3, 4):
         raise ValueError(f"{path}: unsupported BENCH schema {doc['schema']!r}")
     return doc
 
@@ -74,6 +83,48 @@ def render_drift_table(drifts: List[tuple], top: int = 10) -> List[str]:
         if i == 0:
             lines.append("  " + "-" * (sum(widths) + 8))
     return lines
+
+
+def render_throughput_table(old: Dict, new: Dict) -> List[str]:
+    """Per-figure events/sec, baseline vs candidate, with the delta —
+    the kernel-performance summary a reviewer actually wants to see."""
+    rows = [("figure", "base ev/s", "new ev/s", "delta")]
+    for fig_id, n in sorted(new["figures"].items()):
+        if "events_per_second" not in n:
+            continue
+        o = old["figures"].get(fig_id, {})
+        nv = n["events_per_second"]
+        ov = o.get("events_per_second")
+        if ov:
+            delta = f"{(nv - ov) / ov:+.1%}"
+            rows.append((fig_id, f"{ov:.0f}", f"{nv:.0f}", delta))
+        else:
+            rows.append((fig_id, "-", f"{nv:.0f}", "new"))
+    if len(rows) == 1:
+        return []
+    widths = [max(len(r[i]) for r in rows) for i in range(4)]
+    lines = ["throughput (events/second):"]
+    for i, row in enumerate(rows):
+        lines.append(
+            "  " + "  ".join(cell.rjust(w) for cell, w in zip(row, widths))
+        )
+        if i == 0:
+            lines.append("  " + "-" * (sum(widths) + 6))
+    return lines
+
+
+def floor_check(new: Dict, events_per_sec_floor: float) -> List[str]:
+    """Regression lines for figures below the absolute events/sec floor
+    (the CI perf-smoke gate; applies to the candidate document only)."""
+    out: List[str] = []
+    for fig_id, n in sorted(new["figures"].items()):
+        rate = n.get("events_per_second")
+        if rate is not None and rate < events_per_sec_floor:
+            out.append(
+                f"{fig_id}: events/sec {rate:.0f} below the floor "
+                f"{events_per_sec_floor:.0f}"
+            )
+    return out
 
 
 def compare(old: Dict, new: Dict, wall_tolerance: float) -> tuple:
@@ -117,8 +168,21 @@ def compare(old: Dict, new: Dict, wall_tolerance: float) -> tuple:
                 infos.append(f"{fig_id}: wall-clock {abs(rel):.0%} {word} ({ow:.2f}s -> {nw:.2f}s)")
         # engine counters (schema 3): deterministic per seed, so any
         # change is a semantic model/kernel change — compared exactly,
-        # but only when both documents carry the field
-        for counter in ("events", "recomputes", "peak_queue_depth"):
+        # but only when both documents carry the field.
+        # peak_queue_depth changed meaning in schema 4 (live events only,
+        # tombstones excluded), so across the 3<->4 boundary it is
+        # reported as info instead of compared exactly.
+        counters = ["events", "recomputes", "peak_queue_depth"]
+        peak_regime = (old["schema"] >= 4) == (new["schema"] >= 4)
+        if not peak_regime and "peak_queue_depth" in o and "peak_queue_depth" in n:
+            counters.remove("peak_queue_depth")
+            if o["peak_queue_depth"] != n["peak_queue_depth"]:
+                infos.append(
+                    f"{fig_id}: peak_queue_depth {o['peak_queue_depth']} -> "
+                    f"{n['peak_queue_depth']} (schema 3->4 semantic change: "
+                    f"live events only; not compared)"
+                )
+        for counter in counters:
             if counter in o and counter in n and o[counter] != n[counter]:
                 regressions.append(
                     f"{fig_id}: modelled counter {counter!r} changed: "
@@ -183,7 +247,11 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         description="Diff two BENCH json files; non-zero exit on regression"
     )
-    parser.add_argument("old", help="baseline BENCH json")
+    parser.add_argument(
+        "old",
+        help="baseline BENCH json, or '-' to skip the baseline comparison "
+             "and only apply --fail-under-events-per-sec to the candidate",
+    )
     parser.add_argument("new", help="candidate BENCH json")
     parser.add_argument(
         "--wall-tolerance", type=float, default=0.10, metavar="FRAC",
@@ -193,8 +261,13 @@ def main(argv=None) -> int:
         "--top", type=int, default=10, metavar="N",
         help="rows in the drift table printed on mismatch (default 10)",
     )
+    parser.add_argument(
+        "--fail-under-events-per-sec", type=float, default=None, metavar="RATE",
+        help="absolute floor: fail if any candidate figure ran below this "
+             "many simulator events per wall-clock second",
+    )
     args = parser.parse_args(argv)
-    if not os.path.exists(args.old):
+    if args.old != "-" and not os.path.exists(args.old):
         print(f"error: no baseline found at {args.old}", file=sys.stderr)
         print(
             "hint: generate one with 'PYTHONPATH=src python -m "
@@ -204,16 +277,24 @@ def main(argv=None) -> int:
         )
         return 2
     try:
-        old = load(args.old)
+        old = load(args.old) if args.old != "-" else None
         new = load(args.new)
     except (OSError, ValueError, json.JSONDecodeError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    regressions, infos, drifts = compare(old, new, args.wall_tolerance)
-    print(
-        f"comparing {old.get('git_sha', '?')} ({args.old}) -> "
-        f"{new.get('git_sha', '?')} ({args.new})"
-    )
+    if old is not None:
+        regressions, infos, drifts = compare(old, new, args.wall_tolerance)
+        print(
+            f"comparing {old.get('git_sha', '?')} ({args.old}) -> "
+            f"{new.get('git_sha', '?')} ({args.new})"
+        )
+        for line in render_throughput_table(old, new):
+            print(f"  {line}")
+    else:
+        regressions, infos, drifts = [], [], []
+        print(f"no baseline (floor-only mode): {new.get('git_sha', '?')} ({args.new})")
+    if args.fail_under_events_per_sec is not None:
+        regressions.extend(floor_check(new, args.fail_under_events_per_sec))
     for line in infos:
         print(f"  info: {line}")
     if regressions:

@@ -10,9 +10,11 @@ from repro.ceph.monitor import CephCluster
 from repro.ceph.osd import Osd
 from repro.ceph.params import CephParams
 from repro.ceph.placement import PgMap
-from repro.errors import InvalidArgumentError, NotFoundError
+from repro.errors import InvalidArgumentError, NotFoundError, UnavailableError
+from repro.faults.retry import RetryPolicy, run_with_retry
 from repro.hardware.cluster import ClientNode
 from repro.obs.ledger import NULL_CONTEXT, NULL_LEDGER
+from repro.sim.core import Interrupt
 from repro.sim.flownet import Link
 from repro.units import Bytes
 
@@ -78,13 +80,23 @@ class RadosClient:
     """A librados client on one client node; all methods are timed
     simulation coroutines."""
 
-    def __init__(self, ceph: CephCluster, node: ClientNode, jitter_sigma: float = 0.0):
+    def __init__(
+        self,
+        ceph: CephCluster,
+        node: ClientNode,
+        jitter_sigma: float = 0.0,
+        retry_policy: Optional[RetryPolicy] = None,
+    ):
         self.ceph = ceph
         self.node = node
+        self.name = f"rados.{node.name}"
         self.cluster = ceph.cluster
         self.sim = ceph.cluster.sim
         self.net = ceph.cluster.net
         self.params: CephParams = ceph.params
+        self.retry = retry_policy or RetryPolicy()
+        self._retry_rng: Optional[np.random.Generator] = None
+        self.retries = 0
         self.jitter = ceph.cluster.rng.lognormal_factor(
             f"rados.{node.name}.jitter", jitter_sigma
         )
@@ -106,6 +118,14 @@ class RadosClient:
             )
             self._m_bytes_w = reg.counter("ceph.osd.bytes_written", unit="B")
             self._m_bytes_r = reg.counter("ceph.osd.bytes_read", unit="B")
+            self._m_retried = reg.counter(
+                "ceph.ops.retried", unit="ops",
+                description="operations re-attempted after UnavailableError/timeout",
+            )
+            self._m_failed_over = reg.counter(
+                "ceph.ops.failed_over", unit="ops",
+                description="replicated reads served by a non-primary replica",
+            )
             self._m_lat_w = reg.latency_histogram(
                 "ceph.lat.write", unit="s",
                 description="per-op object write latency (replicated and EC)",
@@ -125,6 +145,13 @@ class RadosClient:
         if self.op_jitter_sigma > 0:
             dt *= float(np.exp(self._op_rng.normal(0.0, self.op_jitter_sigma)))
         return self.sim.timeout(dt)
+
+    def _backoff_rng(self) -> np.random.Generator:
+        if self._retry_rng is None:
+            self._retry_rng = self.cluster.rng.stream(
+                f"rados.{self.node.name}.retry"
+            )
+        return self._retry_rng
 
     def _mon_request(self, ops: float = 1.0) -> Generator:
         if self._obs is not None:
@@ -228,7 +255,12 @@ class RadosClient:
                 add(node.ssd_agg_r, nbytes / deveff)
         usages = [(link, load / total) for link, load in loads.items()]
         flow = self.net.transfer(total, usages, demand_cap=demand_cap, name=name)
-        yield flow.done
+        try:
+            yield flow.done
+        except Interrupt:
+            # op timed out (retry path): release the flow's link shares
+            self.net.cancel(flow)
+            raise
         op_ctx.note_transfer(flow)
 
     # -- cluster / pool management ------------------------------------------------
@@ -343,10 +375,21 @@ class RadosClient:
 
     def read(self, pool: CephPool, obj: str, offset: Bytes, nbytes: Bytes) -> Generator:
         """Read from the primary OSD; returns bytes (zeros when the pool
-        is non-materialising)."""
+        is non-materialising).
+
+        Runs under the client's :class:`~repro.faults.retry.RetryPolicy`:
+        a replicated read whose acting set is entirely down raises
+        :class:`~repro.errors.UnavailableError` and is re-attempted with
+        seeded backoff against the *current* OSD map (so a recovered
+        replica serves the retry); a dead primary with a surviving
+        replica fails over immediately.  The default policy has no
+        timeout, so fault-free runs see the exact same event sequence
+        and RNG draws as before the retry layer.  ``DataLossError``
+        (too many EC chunks lost) is not retryable.
+        """
         self._require_connected()
-        with self._ledger.op("ceph.lat.read", self.sim) as opx:
-            start = self.sim.now
+
+        def op(opx) -> Generator:
             yield self._serial()
             opx.note("serial")
             if obj not in pool.object_sizes:
@@ -360,19 +403,34 @@ class RadosClient:
                 return b""
             if pool.is_ec:
                 data = yield from self._ec_read(pool, obj, offset, readable, op_ctx=opx)
-                if self._obs is not None:
-                    self._m_lat_r.observe(self.sim.now - start)
                 return data
             primary = pool.pgmap.primary(obj)
+            if not getattr(primary, "alive", True):
+                # primary down: fail over to the first surviving replica
+                # (every member of the acting set holds a full copy)
+                survivors = [
+                    osd for osd in pool.acting_set(obj)
+                    if getattr(osd, "alive", True)
+                ]
+                if not survivors:
+                    raise UnavailableError(
+                        f"object {obj!r}: acting set fully down in pool "
+                        f"{pool.name!r}"
+                    )
+                primary = survivors[0]
+                opx.flag("failed_over")
+                if self._obs is not None:
+                    self._m_failed_over.inc()
             yield from self._data_flow("read", {primary: readable}, "rados-read",
                                        op_ctx=opx)
-            if self._obs is not None:
-                self._m_lat_r.observe(self.sim.now - start)
             record = primary.objects.get((pool.name, obj))
             if pool.materialize and record is not None:
                 piece = bytes(record["data"][offset : offset + readable])
                 return piece.ljust(readable, b"\0")
             return b"\0" * readable
+
+        hist = self._m_lat_r if self._obs is not None else None
+        return (yield from run_with_retry(self, op, "read", "ceph.lat.read", hist))
 
     def _ec_read(self, pool: CephPool, obj: str, offset: int, readable: int,
                  op_ctx=NULL_CONTEXT) -> Generator:

@@ -31,13 +31,8 @@ from repro.daos.kv import DaosKV
 from repro.daos.objclass import ObjectClass
 from repro.daos.params import DaosParams
 from repro.daos.pool import Engine, Pool, Target
-from repro.errors import InvalidArgumentError, UnavailableError
-from repro.faults.retry import (
-    BACKOFF_COMPONENT,
-    FAILED_COMPONENT,
-    TIMEOUT_COMPONENT,
-    RetryPolicy,
-)
+from repro.errors import InvalidArgumentError
+from repro.faults.retry import RetryPolicy, run_with_retry
 from repro.hardware.cluster import ClientNode, Cluster
 from repro.obs.ledger import NULL_CONTEXT, NULL_LEDGER
 from repro.sim.core import Interrupt
@@ -186,56 +181,15 @@ class DaosClient:
         fault-free runs see the exact same event sequence as without
         the retry layer.
 
-        The whole retry loop runs inside one op-ledger context, so a
-        retried op's decomposition carries its ``backoff``/``timeout``/
-        ``failed`` overhead next to the transfer components of the
-        winning attempt; the context closes at the same instant the
-        latency histogram observes, making the component sum equal the
-        recorded latency exactly.
+        The retry loop itself is the shared
+        :func:`~repro.faults.retry.run_with_retry` runner (same one the
+        Lustre and Ceph clients use): one op-ledger context for the
+        whole loop, per-op tail latency measured start-to-success in
+        simulated time (retries and backoff included), so p999 reflects
+        what a caller actually waited for the op.
         """
-        policy = self.retry
-        # per-op tail latency: measured start-to-success in simulated
-        # time (retries and backoff included), so p999 reflects what a
-        # caller actually waited for the op
         hist = self._m_lat.get(name) if self._obs is not None else None
-        with self._ledger.op(f"daos.lat.{name}", self.sim) as opx:
-            start = self.sim.now
-            attempt = 1
-            while True:
-                try:
-                    if policy.op_timeout is None:
-                        value = yield from make_op(opx)
-                    else:
-                        proc = self.sim.process(
-                            make_op(opx), name=f"{self.name}.{name}"
-                        )
-                        index, got = yield self.sim.any_of(
-                            [proc, self.sim.timeout(policy.op_timeout)]
-                        )
-                        if index != 0:
-                            proc.interrupt("op-timeout")
-                            # whatever the attempt was doing since its
-                            # last note is time lost to the timeout race
-                            opx.note(TIMEOUT_COMPONENT)
-                            raise UnavailableError(
-                                f"{self.name}: {name} timed out after "
-                                f"{policy.op_timeout} s"
-                            )
-                        value = got
-                    if hist is not None:
-                        hist.observe(self.sim.now - start)
-                    return value
-                except UnavailableError:
-                    opx.note(FAILED_COMPONENT)
-                    if attempt >= policy.max_attempts:
-                        raise
-                    self.retries += 1
-                    opx.flag("retried")
-                    if self._obs is not None:
-                        self._m_retried.inc()
-                    yield self.sim.timeout(policy.delay(attempt, self._backoff_rng()))
-                    opx.note(BACKOFF_COMPONENT)
-                    attempt += 1
+        return run_with_retry(self, make_op, name, f"daos.lat.{name}", hist)
 
     def _link_loads_for_data(
         self,

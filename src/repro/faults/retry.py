@@ -17,17 +17,19 @@ remainder of an attempt window lost to the op-timeout race to
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Any, Callable, Generator, Optional, Protocol, TypeVar
 
 import numpy as np
 
-from repro.errors import ConfigError
+from repro.errors import ConfigError, UnavailableError
 
 __all__ = [
     "BACKOFF_COMPONENT",
     "FAILED_COMPONENT",
     "RetryPolicy",
+    "RetryingClient",
     "TIMEOUT_COMPONENT",
+    "run_with_retry",
 ]
 
 #: ledger component: seeded exponential-backoff sleeps between attempts
@@ -78,3 +80,98 @@ class RetryPolicy:
         if self.jitter > 0 and rng is not None:
             base *= float(np.exp(rng.normal(0.0, self.jitter)))
         return base
+
+
+class RetryingClient(Protocol):
+    """Structural interface :func:`run_with_retry` needs from a client.
+
+    Every store client (DAOS, Lustre, Ceph) satisfies this shape: a
+    cooperative-sim handle, a :class:`RetryPolicy`, a mutable retry
+    counter, an op ledger (possibly the null object), optional
+    observability with a per-backend ``*.ops.retried`` counter, and a
+    lazily-created seeded ``<client>.retry`` backoff RNG stream.
+    """
+
+    sim: Any
+    name: str
+    retry: RetryPolicy
+    retries: int
+    _ledger: Any
+    _obs: Any
+    _m_retried: Any
+
+    def _backoff_rng(self) -> np.random.Generator: ...
+
+
+_T = TypeVar("_T")
+
+
+def run_with_retry(
+    client: RetryingClient,
+    make_op: Callable[[Any], Generator[Any, Any, _T]],
+    op_name: str,
+    ledger_name: str,
+    hist: Optional[Any] = None,
+) -> Generator[Any, Any, _T]:
+    """Run ``make_op(op_ctx)`` (a coroutine factory) under the client's
+    :class:`RetryPolicy`.
+
+    ``UnavailableError`` — a down target, a write below quorum, or a
+    per-op timeout — is retried with exponential backoff up to
+    ``max_attempts``; each retry re-runs the functional op against the
+    *current* cluster state, so reads fail over to surviving replicas.
+    Anything else (notably :class:`~repro.errors.DataLossError` and
+    :class:`~repro.errors.DegradedError`) propagates immediately.  With
+    ``op_timeout`` unset the op runs inline: fault-free runs see the
+    exact same event sequence as without the retry layer — no extra
+    events, no extra RNG draws.
+
+    The whole retry loop runs inside one op-ledger context, so a
+    retried op's decomposition carries its ``backoff``/``timeout``/
+    ``failed`` overhead next to the transfer components of the winning
+    attempt; the context closes at the same instant the latency
+    histogram observes, making the component sum equal the recorded
+    latency exactly.  An op that calls ``op_ctx.discard()`` (e.g. a
+    zero-byte read) skips the histogram too, keeping ledger and
+    registry counts equal.
+    """
+    policy = client.retry
+    sim = client.sim
+    with client._ledger.op(ledger_name, sim) as opx:
+        start = sim.now
+        attempt = 1
+        while True:
+            try:
+                if policy.op_timeout is None:
+                    value = yield from make_op(opx)
+                else:
+                    proc = sim.process(
+                        make_op(opx), name=f"{client.name}.{op_name}"
+                    )
+                    index, got = yield sim.any_of(
+                        [proc, sim.timeout(policy.op_timeout)]
+                    )
+                    if index != 0:
+                        proc.interrupt("op-timeout")
+                        # whatever the attempt was doing since its
+                        # last note is time lost to the timeout race
+                        opx.note(TIMEOUT_COMPONENT)
+                        raise UnavailableError(
+                            f"{client.name}: {op_name} timed out after "
+                            f"{policy.op_timeout} s"
+                        )
+                    value = got
+                if hist is not None and not getattr(opx, "_discarded", False):
+                    hist.observe(sim.now - start)
+                return value
+            except UnavailableError:
+                opx.note(FAILED_COMPONENT)
+                if attempt >= policy.max_attempts:
+                    raise
+                client.retries += 1
+                opx.flag("retried")
+                if client._obs is not None:
+                    client._m_retried.inc()
+                yield sim.timeout(policy.delay(attempt, client._backoff_rng()))
+                opx.note(BACKOFF_COMPONENT)
+                attempt += 1

@@ -60,9 +60,13 @@ __all__ = [
 #: tombstones are compacted away and no longer inflate the peak) and
 #: added ``recomputes_per_event`` (the cohort-scalability kernel
 #: metric: how much flow-solving one event costs on average);
-#: ``tools/bench_compare.py`` accepts 1 through 4 and skips the exact
-#: ``peak_queue_depth`` comparison across the 3<->4 semantic boundary.
-BENCH_SCHEMA = 4
+#: version 5 added the resilience counts to the per-figure
+#: ``execution`` record (``retried``/``timed_out``/``quarantined``/
+#: ``resumed`` — all zero on a clean run) and ``corrupt_discarded`` to
+#: cache stats.  ``tools/bench_compare.py`` accepts 1 through 5 and
+#: skips the exact ``peak_queue_depth`` comparison across the 3<->4
+#: semantic boundary.
+BENCH_SCHEMA = 5
 
 
 def git_sha(short: bool = True) -> str:

@@ -59,6 +59,9 @@ class CacheStats:
     misses: int = 0
     invalidated: int = 0
     stored: int = 0
+    #: subset of ``invalidated`` that was unreadable/corrupt on disk
+    #: (truncated, garbage, half-written) rather than version-stale
+    corrupt_discarded: int = 0
 
     @property
     def lookups(self) -> int:
@@ -74,13 +77,20 @@ class CacheStats:
             "misses": self.misses,
             "invalidated": self.invalidated,
             "stored": self.stored,
+            "corrupt_discarded": self.corrupt_discarded,
             "hit_rate": self.hit_rate,
         }
 
     def summary(self) -> str:
+        corrupt = (
+            f", {self.corrupt_discarded} corrupt discarded"
+            if self.corrupt_discarded
+            else ""
+        )
         return (
             f"{self.hits} hits, {self.misses} misses, "
-            f"{self.invalidated} invalidated ({self.hit_rate:.1%} hit rate)"
+            f"{self.invalidated} invalidated{corrupt} "
+            f"({self.hit_rate:.1%} hit rate)"
         )
 
 
@@ -171,9 +181,12 @@ class ResultCache:
         except FileNotFoundError:
             self.stats.misses += 1
             return None
-        except (OSError, json.JSONDecodeError):
-            # unreadable/corrupt entry: drop it and re-execute
+        except (OSError, ValueError):
+            # unreadable/corrupt entry (truncated write, garbage bytes):
+            # drop it and re-execute.  ValueError covers both
+            # JSONDecodeError and UnicodeDecodeError (binary garbage).
             self.stats.invalidated += 1
+            self.stats.corrupt_discarded += 1
             self.stats.misses += 1
             self._discard(path)
             return None
@@ -188,7 +201,10 @@ class ResultCache:
         try:
             result = self._decode(doc)
         except (KeyError, TypeError, ValueError, IndexError, ConfigError):
+            # parses as JSON but the payload is mangled (half-written or
+            # hand-edited): corrupt, not merely version-stale
             self.stats.invalidated += 1
+            self.stats.corrupt_discarded += 1
             self.stats.misses += 1
             self._discard(path)
             return None

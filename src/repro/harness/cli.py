@@ -36,6 +36,15 @@ an optional content-addressed on-disk result cache (``--cache-dir``).
 Modelled numbers are bit-identical whatever the jobs count or cache
 temperature — see docs/EXECUTION.md.  ``--series-json`` dumps every
 series at full float precision, which is how CI asserts that identity.
+
+Parallel execution is resilient: every completed point is checkpointed
+into the cache immediately, a worker crash respawns the pool and
+resubmits in-flight points, ``--point-timeout``/``--max-retries`` bound
+hung points, repeat offenders land in a quarantine file, and a first
+Ctrl-C drains in-flight work then prints a ``--resume`` hint (a second
+hard-stops).  ``--allow-partial`` assembles figures with explicit NaN
+holes when points are quarantined.  See docs/EXECUTION.md ("Resilient
+execution").
 """
 
 from __future__ import annotations
@@ -46,8 +55,9 @@ import sys
 import time
 
 import repro.obs as obs_mod
+from repro.errors import ConfigError
 from repro.harness.cache import ResultCache
-from repro.harness.executor import ParallelExecutor, SerialExecutor, execute_plan
+from repro.harness.executor import SerialExecutor, execute_plan
 from repro.harness.figures import FIGURES, plan_figure
 from repro.harness.report import render_figure, render_markdown
 
@@ -159,6 +169,36 @@ def main(argv=None) -> int:
         help="ignore --cache-dir (neither read nor write the cache)",
     )
     parser.add_argument(
+        "--point-timeout", type=float, default=None, metavar="SECONDS",
+        help="host wall-clock deadline per point; an overdue point's "
+             "worker is terminated and the point retried on a fresh one",
+    )
+    parser.add_argument(
+        "--max-retries", type=int, default=None, metavar="N",
+        help="extra attempts for a point whose worker crashed, timed out "
+             "or raised, before it is quarantined (default: 2)",
+    )
+    parser.add_argument(
+        "--retry-backoff", type=float, default=0.25, metavar="SECONDS",
+        help="base host-side delay before a retry, doubled per attempt "
+             "(default: 0.25)",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="resume an interrupted run: finished points are served from "
+             "--cache-dir (reported as 'resumed'), only the rest execute",
+    )
+    parser.add_argument(
+        "--allow-partial", action="store_true",
+        help="assemble figures with explicit NaN holes for quarantined "
+             "or interrupted points instead of failing",
+    )
+    parser.add_argument(
+        "--quarantine", metavar="PATH",
+        help="structured quarantine file for points that exhausted their "
+             "retries (default: <cache-dir>/quarantine.json)",
+    )
+    parser.add_argument(
         "--series-json", metavar="PATH",
         help="dump every figure's series (full float precision) to this "
              "JSON file — for byte-identity diffs across executors/caches",
@@ -172,6 +212,13 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     if args.jobs < 1:
         parser.error(f"--jobs must be >= 1, got {args.jobs}")
+    if args.point_timeout is not None and args.point_timeout <= 0:
+        parser.error(f"--point-timeout must be > 0, got {args.point_timeout}")
+    if args.max_retries is not None and args.max_retries < 0:
+        parser.error(f"--max-retries must be >= 0, got {args.max_retries}")
+    if args.resume and not args.cache_dir:
+        parser.error("--resume needs --cache-dir (finished points are "
+                     "served from the cache)")
     explains = []
     for spec in args.explain:
         op, sep, quant = spec.rpartition(":")
@@ -180,14 +227,11 @@ def main(argv=None) -> int:
                 f"--explain expects OP:QUANTILE (e.g. 'daos.lat.arr-read:p99'), "
                 f"got {spec!r}"
             )
-        from repro.errors import ConfigError
-
         try:
             explains.append((op, obs_mod.parse_quantile(quant)))
         except ConfigError as exc:
             parser.error(f"--explain: {exc}")
     if args.faults:
-        from repro.errors import ConfigError
         from repro.faults import parse_fault_plan
 
         try:
@@ -212,8 +256,40 @@ def main(argv=None) -> int:
         obs_mod.TimelineConfig(interval=args.timeline_interval)
         if args.timeline else None
     )
+    from pathlib import Path
+
+    from repro.harness.resilience import (
+        ExecutionInterrupted,
+        ResilienceConfig,
+        ResilientParallelExecutor,
+    )
+
+    resilience = ResilienceConfig(
+        point_timeout=args.point_timeout,
+        max_retries=args.max_retries if args.max_retries is not None else 2,
+        retry_backoff=args.retry_backoff,
+        allow_partial=args.allow_partial,
+        resume=args.resume,
+        quarantine_path=Path(args.quarantine) if args.quarantine else None,
+    )
+    # parallel runs are resilient by default (crash containment,
+    # checkpointing); timeout/retry flags opt a serial invocation into
+    # the process-pool executor too, since an in-process point cannot
+    # be deadlined
+    resilient = (
+        args.jobs > 1
+        or args.point_timeout is not None
+        or args.max_retries is not None
+    )
     executor = (
-        ParallelExecutor(jobs=args.jobs) if args.jobs > 1 else SerialExecutor()
+        ResilientParallelExecutor(
+            jobs=args.jobs,
+            point_timeout=resilience.point_timeout,
+            max_retries=resilience.max_retries,
+            retry_backoff=resilience.retry_backoff,
+        )
+        if resilient
+        else SerialExecutor()
     )
     cache = (
         ResultCache(args.cache_dir)
@@ -255,10 +331,30 @@ def main(argv=None) -> int:
             from repro.harness.plan import with_faults
 
             plan = with_faults(plan, args.faults)
-        with obs_mod.activated(obs):
-            result, exec_report = execute_plan(
-                plan, executor=executor, cache=cache
-            )
+        try:
+            with obs_mod.activated(obs):
+                result, exec_report = execute_plan(
+                    plan, executor=executor, cache=cache, resilience=resilience
+                )
+        except ConfigError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        except ExecutionInterrupted as exc:
+            print(f"\ninterrupted: {exc}", file=sys.stderr)
+            if cache is not None:
+                resume_cmd = (
+                    f"python -m repro.harness.cli {args.figure} "
+                    f"--scale {args.scale} --jobs {args.jobs} "
+                    f"--cache-dir {args.cache_dir} --resume"
+                )
+                print(f"resume with: {resume_cmd}", file=sys.stderr)
+            else:
+                print(
+                    "hint: run with --cache-dir to make interrupted work "
+                    "resumable",
+                    file=sys.stderr,
+                )
+            return 130
         wall = time.perf_counter() - t0
         if obs is not None:
             obs.finalize()

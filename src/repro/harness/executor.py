@@ -26,27 +26,33 @@ simulations and can never leak into modelled results.
 from __future__ import annotations
 
 import time
-from concurrent.futures import Future, ProcessPoolExecutor
-from dataclasses import dataclass
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from dataclasses import dataclass, replace
 from typing import (
     TYPE_CHECKING,
     Any,
+    Callable,
     Dict,
     List,
     Optional,
     Protocol,
     Sequence,
+    Set,
     Tuple,
 )
 
 import repro.obs as obs_mod
 from repro.errors import ConfigError
-from repro.harness.cache import CacheStats, ResultCache
-from repro.harness.experiment import PointResult, PointSpec, run_point
+from repro.harness.cache import CacheStats, ResultCache, point_key
+from repro.harness.experiment import PointResult, PointSpec, run_point, spec_token
 from repro.harness.plan import PlanBatch, RunPlan, dedupe_plans
 
 if TYPE_CHECKING:  # pragma: no cover - typing only (figures imports us)
     from repro.harness.figures import FigureResult
+    from repro.harness.resilience import ResilienceConfig
+
+#: per-completion callback: ``(task, result)`` the moment a point finishes
+ResultCallback = Callable[["PointTask", PointResult], None]
 
 __all__ = [
     "PointTask",
@@ -75,8 +81,17 @@ class Executor(Protocol):
     #: BENCH documents so wall-clock numbers are comparable
     jobs: int
 
-    def run_tasks(self, tasks: Sequence[PointTask]) -> List[PointResult]:
-        """Execute every task; ``result[i]`` corresponds to ``tasks[i]``."""
+    def run_tasks(
+        self,
+        tasks: Sequence[PointTask],
+        on_result: Optional[ResultCallback] = None,
+    ) -> List[Optional[PointResult]]:
+        """Execute every task; ``result[i]`` corresponds to ``tasks[i]``.
+
+        ``on_result`` is invoked once per completed task, the moment the
+        result exists — the checkpointing hook.  A slot may be ``None``
+        only for resilient executors (quarantined/interrupted points).
+        """
         ...
 
 
@@ -88,10 +103,18 @@ class SerialExecutor:
 
     jobs = 1
 
-    def run_tasks(self, tasks: Sequence[PointTask]) -> List[PointResult]:
-        return [
-            run_point(t.spec, reps=t.reps, base_seed=t.base_seed) for t in tasks
-        ]
+    def run_tasks(
+        self,
+        tasks: Sequence[PointTask],
+        on_result: Optional[ResultCallback] = None,
+    ) -> List[Optional[PointResult]]:
+        results: List[Optional[PointResult]] = []
+        for t in tasks:
+            result = run_point(t.spec, reps=t.reps, base_seed=t.base_seed)
+            if on_result is not None:
+                on_result(t, result)
+            results.append(result)
+        return results
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return "SerialExecutor()"
@@ -141,7 +164,11 @@ class ParallelExecutor:
             raise ConfigError(f"ParallelExecutor needs jobs >= 1, got {jobs}")
         self.jobs = jobs
 
-    def run_tasks(self, tasks: Sequence[PointTask]) -> List[PointResult]:
+    def run_tasks(
+        self,
+        tasks: Sequence[PointTask],
+        on_result: Optional[ResultCallback] = None,
+    ) -> List[Optional[PointResult]]:
         if not tasks:
             return []
         parent_obs = obs_mod.current()
@@ -149,17 +176,37 @@ class ParallelExecutor:
         timeline = parent_obs.timeline_config if parent_obs is not None else None
         profile = parent_obs is not None and parent_obs.profile is not None
         ledger = parent_obs is not None and parent_obs.ledger is not None
-        results: List[PointResult] = []
-        with ProcessPoolExecutor(max_workers=min(self.jobs, len(tasks))) as pool:
+        n = len(tasks)
+        results: List[Optional[PointResult]] = [None] * n
+        payloads: List[Optional[Dict[str, Any]]] = [None] * n
+        done = [False] * n
+        absorb_upto = 0
+        with ProcessPoolExecutor(max_workers=min(self.jobs, n)) as pool:
             futures: List["Future[Tuple[PointResult, Optional[Dict[str, Any]]]]"] = [
                 pool.submit(_run_task_observed, task, observe, timeline, profile, ledger)
                 for task in tasks
             ]
-            for future in futures:
-                result, payload = future.result()
-                if payload is not None and parent_obs is not None:
-                    parent_obs.absorb(payload)
-                results.append(result)
+            index_of = {fut: i for i, fut in enumerate(futures)}
+            pending = set(futures)
+            while pending:
+                finished, pending = wait(pending, return_when=FIRST_COMPLETED)
+                # per-completion checkpointing (on_result fires the moment a
+                # result exists) — but payload absorption stays strictly in
+                # submission order so merged telemetry is deterministic
+                for fut in sorted(finished, key=index_of.__getitem__):
+                    i = index_of[fut]
+                    result, payload = fut.result()
+                    results[i] = result
+                    payloads[i] = payload
+                    done[i] = True
+                    if on_result is not None:
+                        on_result(tasks[i], result)
+                while absorb_upto < n and done[absorb_upto]:
+                    payload = payloads[absorb_upto]
+                    if payload is not None and parent_obs is not None:
+                        parent_obs.absorb(payload)
+                    payloads[absorb_upto] = None
+                    absorb_upto += 1
         return results
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -177,6 +224,11 @@ class ExecutionReport:
     executed_points: int = 0
     wall_seconds: float = 0.0
     cache: Optional[CacheStats] = None
+    #: resilience accounting (all zero for plain executors / clean runs)
+    retried: int = 0
+    timed_out: int = 0
+    quarantined: int = 0
+    resumed: int = 0
 
     @property
     def deduped_points(self) -> int:
@@ -191,6 +243,10 @@ class ExecutionReport:
             "deduped_points": self.deduped_points,
             "executed_points": self.executed_points,
             "wall_seconds": self.wall_seconds,
+            "retried": self.retried,
+            "timed_out": self.timed_out,
+            "quarantined": self.quarantined,
+            "resumed": self.resumed,
         }
         doc["cache"] = self.cache.as_dict() if self.cache is not None else None
         return doc
@@ -202,6 +258,11 @@ class ExecutionReport:
             f"{self.executed_points} executed with jobs={self.jobs} "
             f"in {self.wall_seconds:.1f}s",
         ]
+        if self.retried or self.timed_out or self.quarantined or self.resumed:
+            parts.append(
+                f"resilience: retried={self.retried} timed-out={self.timed_out} "
+                f"quarantined={self.quarantined} resumed={self.resumed}"
+            )
         if self.cache is not None:
             parts.append(f"cache: {self.cache.summary()}")
         return "; ".join(parts)
@@ -212,13 +273,23 @@ def execute_plans(
     executor: Optional[Executor] = None,
     cache: Optional[ResultCache] = None,
     base_seed: int = 0,
+    resilience: Optional["ResilienceConfig"] = None,
 ) -> Tuple[List["FigureResult"], ExecutionReport]:
     """Satisfy several plans at once and assemble their figures.
 
     Pipeline: dedupe points across figures -> serve what the cache
-    holds -> hand the misses to the executor -> store fresh results ->
-    run each plan's pure assembly.  Returns the figures (plan order)
-    and an :class:`ExecutionReport`.
+    holds -> hand the misses to the executor -> checkpoint each fresh
+    result the moment it completes -> run each plan's pure assembly.
+    Returns the figures (plan order) and an :class:`ExecutionReport`.
+
+    Every fresh result is ``cache.put`` per-completion (through the
+    executor's ``on_result`` hook), so a run that dies mid-batch keeps
+    everything it finished.  With a ``resilience`` config the batch
+    additionally keeps a :class:`~repro.harness.resilience.BatchJournal`
+    (``--resume`` accounting), skips and reports points already in the
+    :class:`~repro.harness.resilience.Quarantine`, persists new
+    quarantine entries, and — under ``allow_partial`` — assembles
+    figures with explicitly-NaN holes instead of raising.
     """
     executor = executor if executor is not None else SerialExecutor()
     batch: PlanBatch = dedupe_plans(plans)
@@ -229,26 +300,118 @@ def execute_plans(
         unique_points=batch.unique_points,
         cache=cache.stats if cache is not None else None,
     )
+    journal = None
+    quarantine = None
+    prev_done: Set[str] = set()
+    if resilience is not None:
+        # lazy import: resilience builds on this module, never the reverse
+        from repro.harness.resilience import BatchJournal, Quarantine
+
+        qpath = resilience.quarantine_path
+        if qpath is None and cache is not None:
+            qpath = cache.root / "quarantine.json"
+        quarantine = Quarantine(qpath)
+        if cache is not None:
+            keyed = {
+                point_key(spec, reps, base_seed): spec_token(spec)
+                for spec, reps in batch.tasks
+            }
+            journal = BatchJournal(
+                cache.root / "journal",
+                BatchJournal.key_for(list(keyed), base_seed),
+            )
+            if resilience.resume:
+                prev_done = journal.done_keys()
+            journal.write_manifest(keyed, base_seed=base_seed, jobs=executor.jobs)
     pool: Dict[Tuple[PointSpec, int], PointResult] = {}
     misses: List[PointTask] = []
+    quarantined_tokens: List[str] = []
     for spec, reps in batch.tasks:
+        key = point_key(spec, reps, base_seed)
+        if quarantine is not None and quarantine.has(key):
+            report.quarantined += 1
+            quarantined_tokens.append(spec_token(spec))
+            continue
         cached = cache.get(spec, reps, base_seed) if cache is not None else None
         if cached is not None:
             pool[(spec, reps)] = cached
+            if journal is not None:
+                if key in prev_done:
+                    report.resumed += 1
+                journal.mark_done(key)
         else:
             misses.append(PointTask(spec=spec, reps=reps, base_seed=base_seed))
-    t0 = time.perf_counter()
-    fresh = executor.run_tasks(misses)
-    report.wall_seconds = time.perf_counter() - t0
-    report.executed_points = len(misses)
-    for task, result in zip(misses, fresh):
+
+    def checkpoint(task: PointTask, result: PointResult) -> None:
         pool[(task.spec, task.reps)] = result
         if cache is not None:
             cache.put(result, base_seed=base_seed)
+        if journal is not None:
+            journal.mark_done(point_key(task.spec, task.reps, base_seed))
+
+    t0 = time.perf_counter()
+    try:
+        fresh = executor.run_tasks(misses, on_result=checkpoint)
+    finally:
+        report.wall_seconds = time.perf_counter() - t0
+    for task, result in zip(misses, fresh):
+        if result is not None and (task.spec, task.reps) not in pool:
+            # executor ignored on_result (third-party): checkpoint now
+            checkpoint(task, result)
+    report.executed_points = sum(1 for result in fresh if result is not None)
+    stats = getattr(executor, "last_stats", None)
+    if stats is not None:
+        report.retried += stats.retried
+        report.timed_out += stats.timed_out
+        report.quarantined += stats.quarantined
+    for failure in getattr(executor, "last_failures", None) or []:
+        token = spec_token(failure.task.spec)
+        quarantined_tokens.append(token)
+        if quarantine is not None:
+            quarantine.add(
+                key=point_key(failure.task.spec, failure.task.reps, base_seed),
+                token=token,
+                reps=failure.task.reps,
+                base_seed=base_seed,
+                attempts=failure.attempts,
+                reason=failure.reason,
+                error=failure.error,
+                traceback=failure.traceback,
+            )
     figures: List["FigureResult"] = []
+    allow_partial = resilience is not None and resilience.allow_partial
     for plan in batch.plans:
-        results = {spec: pool[(spec, plan.reps)] for spec in plan.specs}
-        figures.append(plan.assemble(results))
+        missing = [spec for spec in plan.specs if (spec, plan.reps) not in pool]
+        if missing and allow_partial:
+            from repro.harness.resilience import hole_result
+
+            results = {
+                spec: pool.get((spec, plan.reps)) or hole_result(spec, plan.reps)
+                for spec in plan.specs
+            }
+            figure = plan.assemble(results)
+            hole_note = (
+                f"PARTIAL: {len(missing)} of {len(plan.specs)} points missing "
+                f"(NaN holes): " + "; ".join(spec_token(s) for s in missing)
+            )
+            notes = f"{figure.notes}\n{hole_note}" if figure.notes else hole_note
+            figures.append(replace(figure, notes=notes))
+        elif missing:
+            names = ", ".join(spec_token(s) for s in missing[:3])
+            more = f" (+{len(missing) - 3} more)" if len(missing) > 3 else ""
+            cause = (
+                " — quarantined after repeated failures"
+                if quarantined_tokens
+                else ""
+            )
+            raise ConfigError(
+                f"plan {plan.fig_id!r}: {len(missing)} of {len(plan.specs)} "
+                f"point results missing{cause}: {names}{more}; re-run with "
+                f"--allow-partial to assemble the figure with explicit holes"
+            )
+        else:
+            results = {spec: pool[(spec, plan.reps)] for spec in plan.specs}
+            figures.append(plan.assemble(results))
     return figures, report
 
 
@@ -257,9 +420,14 @@ def execute_plan(
     executor: Optional[Executor] = None,
     cache: Optional[ResultCache] = None,
     base_seed: int = 0,
+    resilience: Optional["ResilienceConfig"] = None,
 ) -> Tuple["FigureResult", ExecutionReport]:
     """Single-plan convenience wrapper around :func:`execute_plans`."""
     figures, report = execute_plans(
-        [plan], executor=executor, cache=cache, base_seed=base_seed
+        [plan],
+        executor=executor,
+        cache=cache,
+        base_seed=base_seed,
+        resilience=resilience,
     )
     return figures[0], report

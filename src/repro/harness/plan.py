@@ -28,7 +28,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Dict, Mapping, Sequence, Tuple
 
 from repro.errors import ConfigError
-from repro.harness.experiment import PointResult, PointSpec
+from repro.harness.experiment import PointResult, PointSpec, spec_token
 
 if TYPE_CHECKING:  # pragma: no cover - typing only (figures imports us)
     from repro.harness.figures import FigureResult
@@ -63,9 +63,11 @@ class RunPlan:
         """
         missing = [spec for spec in self.specs if spec not in results]
         if missing:
+            names = ", ".join(spec_token(spec) for spec in missing[:3])
+            more = f" (+{len(missing) - 3} more)" if len(missing) > 3 else ""
             raise ConfigError(
                 f"plan {self.fig_id!r}: {len(missing)} of {len(self.specs)} "
-                f"point results missing (first: {missing[0]})"
+                f"point results missing: {names}{more}"
             )
         return self.assembler(results)
 

@@ -7,11 +7,13 @@ import numpy as np
 from typing import Dict, Generator, List, Optional, Tuple
 
 from repro.errors import DegradedError, InvalidArgumentError
+from repro.faults.retry import RetryPolicy, run_with_retry
 from repro.hardware.cluster import ClientNode
 from repro.lustre.fs import LustreFilesystem
 from repro.obs.ledger import NULL_CONTEXT, NULL_LEDGER
 from repro.lustre.mds import Inode
 from repro.lustre.ost import Ost
+from repro.sim.core import Interrupt
 from repro.sim.flownet import Link
 from repro.units import Bytes
 
@@ -34,13 +36,23 @@ class LustreClient:
     """One Lustre client on one client node; all methods are timed
     simulation coroutines."""
 
-    def __init__(self, fs: LustreFilesystem, node: ClientNode, jitter_sigma: float = 0.0):
+    def __init__(
+        self,
+        fs: LustreFilesystem,
+        node: ClientNode,
+        jitter_sigma: float = 0.0,
+        retry_policy: Optional[RetryPolicy] = None,
+    ):
         self.fs = fs
         self.node = node
+        self.name = f"lustre.{node.name}"
         self.cluster = fs.cluster
         self.sim = fs.cluster.sim
         self.net = fs.cluster.net
         self.params = fs.params
+        self.retry = retry_policy or RetryPolicy()
+        self._retry_rng: Optional[np.random.Generator] = None
+        self.retries = 0
         self.jitter = fs.cluster.rng.lognormal_factor(
             f"lustre.{node.name}.jitter", jitter_sigma
         )
@@ -61,6 +73,10 @@ class LustreClient:
             )
             self._m_bytes_w = reg.counter("lustre.bytes.written", unit="B")
             self._m_bytes_r = reg.counter("lustre.bytes.read", unit="B")
+            self._m_retried = reg.counter(
+                "lustre.ops.retried", unit="ops",
+                description="operations re-attempted after UnavailableError/timeout",
+            )
             self._m_lat_w = reg.latency_histogram(
                 "lustre.lat.write", unit="s",
                 description="per-op write latency (serial charge + stripe flow)",
@@ -76,6 +92,13 @@ class LustreClient:
         if self.op_jitter_sigma > 0:
             dt *= float(np.exp(self._op_rng.normal(0.0, self.op_jitter_sigma)))
         return self.sim.timeout(dt)
+
+    def _backoff_rng(self) -> np.random.Generator:
+        if self._retry_rng is None:
+            self._retry_rng = self.cluster.rng.stream(
+                f"lustre.{self.node.name}.retry"
+            )
+        return self._retry_rng
 
     def mds_request(self, ops: float = 1.0) -> Generator:
         """Charge ``ops`` requests on the (single) MDS."""
@@ -148,7 +171,12 @@ class LustreClient:
                 return
             usages = [(link, load / total) for link, load in extra_loads.items()]
             flow = self.net.transfer(total, usages, name=name)
-            yield flow.done
+            try:
+                yield flow.done
+            except Interrupt:
+                # op timed out (retry path): release the flow's link shares
+                self.net.cancel(flow)
+                raise
             op_ctx.note_transfer(flow)
             return
         eff = self.params.protocol_efficiency
@@ -188,7 +216,12 @@ class LustreClient:
             add(link, amount)
         usages = [(link, load / total) for link, load in loads.items()]
         flow = self.net.transfer(total, usages, demand_cap=demand_cap, name=name)
-        yield flow.done
+        try:
+            yield flow.done
+        except Interrupt:
+            # op timed out (retry path): release the flow's link shares
+            self.net.cancel(flow)
+            raise
         op_ctx.note_transfer(flow)
 
     def _stripe_map(
@@ -294,13 +327,22 @@ class LustreClient:
                 self._m_lat_w.observe(self.sim.now - start)
 
     def read(self, handle: LustreFile, offset: Bytes, nbytes: Bytes) -> Generator:
-        """Read; returns bytes (zeros for holes / non-materialised data)."""
+        """Read; returns bytes (zeros for holes / non-materialised data).
+
+        Runs under the client's :class:`~repro.faults.retry.RetryPolicy`:
+        with ``op_timeout`` set, a stuck read is aborted (its flow
+        cancelled) and re-attempted with seeded exponential backoff from
+        the ``<client>.retry`` RNG stream.  The default policy has no
+        timeout, so fault-free runs see the exact same event sequence
+        and RNG draws as before the retry layer.  ``DegradedError`` (a
+        dead OST) is not retryable and propagates immediately.
+        """
         if not handle.open:
             raise InvalidArgumentError("read on closed handle")
         if nbytes == 0:
             return b""
-        with self._ledger.op("lustre.lat.read", self.sim) as opx:
-            start = self.sim.now
+
+        def op(opx) -> Generator:
             yield self._serial()
             opx.note("serial")
             out = bytearray(nbytes)
@@ -318,9 +360,10 @@ class LustreClient:
                         out[pos : pos + len(piece)] = piece
                 pos += length
             yield from self._data_flow("read", per_ost, "lustre-read", op_ctx=opx)
-            if self._obs is not None:
-                self._m_lat_r.observe(self.sim.now - start)
             return bytes(out)
+
+        hist = self._m_lat_r if self._obs is not None else None
+        return (yield from run_with_retry(self, op, "read", "lustre.lat.read", hist))
 
     def unlink(self, path: str) -> Generator:
         yield from self.mds_request(2.0)

@@ -362,16 +362,27 @@ class DaosEnv:
 class LustreEnv:
     """Lustre deployment + per-node client cache."""
 
-    def __init__(self, cluster: Cluster, fs: Optional[LustreFilesystem] = None, jitter_sigma: float = 0.02) -> None:
+    def __init__(
+        self,
+        cluster: Cluster,
+        fs: Optional[LustreFilesystem] = None,
+        jitter_sigma: float = 0.02,
+        retry_policy: Any = None,
+    ) -> None:
         self.cluster = cluster
         self.fs = fs or LustreFilesystem(cluster)
         self.jitter_sigma = jitter_sigma
+        #: RetryPolicy handed to every client this env creates
+        self.retry_policy = retry_policy
         self._clients: Dict[int, LustreClient] = {}
 
     def client(self, node: ClientNode) -> LustreClient:
         c = self._clients.get(node.index)
         if c is None:
-            c = LustreClient(self.fs, node, jitter_sigma=self.jitter_sigma)
+            c = LustreClient(
+                self.fs, node, jitter_sigma=self.jitter_sigma,
+                retry_policy=self.retry_policy,
+            )
             self._clients[node.index] = c
         return c
 
@@ -379,15 +390,26 @@ class LustreEnv:
 class CephEnv:
     """Ceph deployment + per-node librados client cache."""
 
-    def __init__(self, cluster: Cluster, ceph: Optional[CephCluster] = None, jitter_sigma: float = 0.02) -> None:
+    def __init__(
+        self,
+        cluster: Cluster,
+        ceph: Optional[CephCluster] = None,
+        jitter_sigma: float = 0.02,
+        retry_policy: Any = None,
+    ) -> None:
         self.cluster = cluster
         self.ceph = ceph or CephCluster(cluster)
         self.jitter_sigma = jitter_sigma
+        #: RetryPolicy handed to every client this env creates
+        self.retry_policy = retry_policy
         self._clients: Dict[int, RadosClient] = {}
 
     def client(self, node: ClientNode) -> RadosClient:
         c = self._clients.get(node.index)
         if c is None:
-            c = RadosClient(self.ceph, node, jitter_sigma=self.jitter_sigma)
+            c = RadosClient(
+                self.ceph, node, jitter_sigma=self.jitter_sigma,
+                retry_policy=self.retry_policy,
+            )
             self._clients[node.index] = c
         return c

@@ -256,6 +256,59 @@ def test_cache_schema_and_corruption_invalidation(tmp_path):
     assert cache.stats.invalidated == 2
 
 
+def test_cache_corruption_recovery(tmp_path):
+    """Truncated, garbage, and half-written entries are discarded on
+    read and simply recomputed — a crashed writer can't poison the
+    cache."""
+    cache = ResultCache(tmp_path)
+    result = run_point(DD, reps=1)
+    path = cache.path_for(point_key(DD, 1))
+
+    # truncated mid-write (e.g. a worker SIGKILLed during fsync)
+    cache.put(result)
+    full = path.read_text()
+    path.write_text(full[: len(full) // 2])
+    assert cache.get(DD, 1) is None
+    assert not path.exists()  # discarded, not left to fail every run
+
+    # binary garbage
+    cache.put(result)
+    path.write_bytes(b"\x00\xffnot-json\x13")
+    assert cache.get(DD, 1) is None
+    assert not path.exists()
+
+    # parses as JSON, right versions, but the payload is missing:
+    # corrupt, not merely version-stale
+    cache.put(result)
+    doc = json.loads(path.read_text())
+    partial = {
+        "model_version": doc["model_version"],
+        "result_schema": doc["result_schema"],
+    }
+    path.write_text(json.dumps(partial))
+    assert cache.get(DD, 1) is None
+    assert not path.exists()
+
+    assert cache.stats.corrupt_discarded == 3
+    assert cache.stats.invalidated == 3
+    assert cache.stats.misses == 3
+    assert "3 corrupt discarded" in cache.stats.summary()
+
+    # recomputing repopulates the slot and it reads back clean
+    cache.put(result)
+    assert cache.get(DD, 1) is not None
+
+
+def test_cache_version_mismatch_is_not_counted_corrupt(tmp_path):
+    cache = ResultCache(tmp_path)
+    cache.put(run_point(DD, reps=1))
+    stale = ResultCache(tmp_path, model_version=MODEL_VERSION + "-next")
+    assert stale.get(DD, 1) is None
+    assert stale.stats.invalidated == 1
+    assert stale.stats.corrupt_discarded == 0  # stale, not corrupt
+    assert "corrupt discarded" not in stale.stats.summary()
+
+
 def test_cache_roundtrip_is_exact(tmp_path):
     cache = ResultCache(tmp_path)
     result = run_point(SMALL, reps=2)
@@ -333,8 +386,13 @@ def test_execution_report_as_dict_roundtrip():
 def test_bench_record_carries_execution(tmp_path):
     from repro.harness.bench import BENCH_SCHEMA, figure_record
 
-    assert BENCH_SCHEMA == 4
+    assert BENCH_SCHEMA == 5
     fig, report = execute_plan(tiny_plan(), cache=ResultCache(tmp_path))
     rec = figure_record(fig, wall_seconds=0.5, events=100, execution=report)
     assert rec["execution"]["executed_points"] == 3
     assert "cache" not in rec["execution"]
+    # schema 5: resilience counts ride the execution record, zero when clean
+    assert rec["execution"]["retried"] == 0
+    assert rec["execution"]["quarantined"] == 0
+    assert rec["execution"]["timed_out"] == 0
+    assert rec["execution"]["resumed"] == 0

@@ -118,6 +118,29 @@ def test_sl001_obs_profile_allowed_rest_of_obs_not(lint):
     assert findings[0].path.endswith("obs/metrics.py")
 
 
+def test_sl001_resilience_allowed_other_harness_files_not(lint):
+    # the resilient executor legitimately reads the host clock (per-point
+    # deadlines, retry backoff are wall-clock concepts), so
+    # harness/resilience.py is allowlisted — but the exemption stays
+    # per-file: a new harness module reading the clock still trips SL001
+    findings = lint({
+        "harness/resilience.py": """
+            import time
+
+            def deadline():
+                return time.monotonic()
+        """,
+        "harness/watchdog.py": """
+            import time
+
+            def poll():
+                return time.monotonic()
+        """,
+    })
+    assert codes(findings) == ["SL001"]
+    assert findings[0].path.endswith("harness/watchdog.py")
+
+
 # ---------------------------------------------------------------- SL002
 
 

@@ -52,11 +52,11 @@ def load(path: str) -> Dict:
     if not isinstance(doc, dict) or "schema" not in doc or "figures" not in doc:
         raise ValueError(f"{path}: not a BENCH document")
     # schema 2 added executor/cache accounting, schema 3 the simprof
-    # engine fields, schema 4 live-only queue peaks + recomputes_per_event;
-    # every field is compared only when both documents carry it (and
-    # peak_queue_depth only within one semantic regime), so any mix of
-    # 1..4 is comparable
-    if doc["schema"] not in (1, 2, 3, 4):
+    # engine fields, schema 4 live-only queue peaks + recomputes_per_event,
+    # schema 5 resilience counts in the execution record; every field is
+    # compared only when both documents carry it (and peak_queue_depth
+    # only within one semantic regime), so any mix of 1..5 is comparable
+    if doc["schema"] not in (1, 2, 3, 4, 5):
         raise ValueError(f"{path}: unsupported BENCH schema {doc['schema']!r}")
     return doc
 
